@@ -1,0 +1,60 @@
+// Command graphm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	graphm-bench -list
+//	graphm-bench -exp fig9
+//	graphm-bench -exp all [-jobs 16] [-cores 8] [-seed 42]
+//
+// Each experiment prints one or more aligned text tables with the same
+// rows/series as the corresponding table or figure in the paper, plus a
+// note recalling the paper's reported shape for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphm/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		jobs   = flag.Int("jobs", 16, "concurrent job count for the overall comparison")
+		cores  = flag.Int("cores", 8, "simulated core count")
+		seed   = flag.Int64("seed", 42, "workload seed")
+		asJSON = flag.Bool("json", false, "emit tables as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", name, bench.Describe(name))
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "graphm-bench: pass -exp <name> or -list")
+		os.Exit(2)
+	}
+
+	h := bench.New(os.Stdout)
+	h.JobCount = *jobs
+	h.Cores = *cores
+	h.Seed = *seed
+	h.JSON = *asJSON
+
+	var err error
+	if *exp == "all" {
+		err = h.RunAll()
+	} else {
+		err = h.Run(*exp)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphm-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

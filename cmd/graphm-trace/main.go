@@ -1,0 +1,51 @@
+// Command graphm-trace generates and inspects the synthetic concurrent-job
+// trace standing in for the paper's proprietary social-network trace
+// (Figures 2 and 4).
+//
+// Usage:
+//
+//	graphm-trace -hours 168 -seed 42            # concurrency series
+//	graphm-trace -hours 24 -sharing             # sharing profile per hour
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"graphm/internal/trace"
+)
+
+func main() {
+	var (
+		hours   = flag.Int("hours", 168, "trace length in hours")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		sharing = flag.Bool("sharing", false, "print the graph-sharing profile instead of the series")
+		jobLen  = flag.Float64("joblen", 1.0, "assumed job duration in hours")
+	)
+	flag.Parse()
+
+	tr := trace.Generate(*hours, *seed)
+	series := tr.Concurrency(*jobLen)
+
+	if *sharing {
+		fmt.Println("hour  jobs  >1 jobs  >2 jobs  >4 jobs  >8 jobs")
+		for h := 0; h < len(series); h += *hours / 12 {
+			k := series[h]
+			p := trace.Sharing(k, 0.9)
+			fmt.Printf("%-4d  %-4d  %-7.1f  %-7.1f  %-7.1f  %-7.1f\n",
+				h, k, 100*p.MoreThan1, 100*p.MoreThan2, 100*p.MoreThan4, 100*p.MoreThan8)
+		}
+		return
+	}
+
+	fmt.Printf("trace: %d submissions over %d hours\n", len(tr.Events), *hours)
+	st := tr.ConcurrencyStats(*jobLen)
+	fmt.Printf("concurrency: peak=%d mean=%.1f (paper: peak>30 mean~16)\n\n", st.Peak, st.Mean)
+	for h := 0; h < len(series); h++ {
+		if h%4 != 0 {
+			continue
+		}
+		fmt.Printf("h%-4d %3d %s\n", h, series[h], strings.Repeat("#", series[h]))
+	}
+}

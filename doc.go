@@ -1,0 +1,22 @@
+// Package graphm is a from-scratch Go reproduction of "GraphM: An Efficient
+// Storage System for High Throughput of Concurrent Graph Processing"
+// (Zhao et al., SC'19).
+//
+// GraphM is a storage runtime that plugs into existing graph engines so
+// that concurrent iterative jobs over the same graph share one copy of the
+// graph structure in memory and in the last-level cache, streaming it in a
+// common chunk-synchronized order. See README.md for a tour, DESIGN.md for
+// the system inventory and simulation substitutions, and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// The public surface lives under internal/ because this is a reproduction
+// repository; the root package carries the module documentation and the
+// benchmark suite (bench_test.go) that regenerates every table and figure
+// of the paper's evaluation:
+//
+//	go test -bench=. -benchmem
+//
+// or, experiment by experiment:
+//
+//	go run ./cmd/graphm-bench -list
+package graphm

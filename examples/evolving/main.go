@@ -1,0 +1,109 @@
+// Evolving graph: consistent snapshots under mutations and updates.
+//
+// Section 3.3.2 of the paper: the shared graph may change while jobs run.
+// A *mutation* belongs to one job (visible only to it); an *update* changes
+// the shared graph for jobs submitted afterwards, while already-running
+// jobs keep their snapshot through copy-on-write chunks.
+//
+// The example runs BFS jobs around a chunk update and shows that:
+//
+//   - the job submitted before the update computes distances on the old graph,
+//
+//   - the job submitted after computes distances on the new graph,
+//
+//   - a job-private mutation affects only its owner.
+//
+//     go run ./examples/evolving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+func main() {
+	// A long chain 0 -> 1 -> ... -> 99: BFS distances are easy to read.
+	g := graph.GenerateChain("evolving", 100)
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 1, disk) // one partition, several chunks
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := storage.NewMemory(disk, 16<<20)
+	cache, err := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig(64 << 10)
+	sys, err := core.NewSystem(grid.AsLayout(), mem, cache, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Job 1: BFS on the original chain.
+	bfs1 := algorithms.NewBFS(0)
+	j1 := engine.NewJob(1, bfs1, 1)
+	if err := sys.Run([]*engine.Job{j1}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job 1 (before update): dist[99] = %d (chain length)\n", bfs1.Dist()[99])
+
+	// Update: add a shortcut 0 -> 99 into chunk 0 of partition 0. Jobs
+	// submitted after this see the shortcut; snapshots of earlier jobs
+	// would not.
+	chunk0, err := sys.ChunkView(-1, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	updated := append(append([]graph.Edge(nil), chunk0...), graph.Edge{Src: 0, Dst: 99, Weight: 1})
+	version, err := sys.UpdateChunk(0, 0, updated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update: added shortcut 0->99 (snapshot version %d)\n", version)
+
+	// Job 2, submitted after the update, sees the shortcut.
+	bfs2 := algorithms.NewBFS(0)
+	j2 := engine.NewJob(2, bfs2, 2)
+	if err := sys.Run([]*engine.Job{j2}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job 2 (after update):  dist[99] = %d (via shortcut)\n", bfs2.Dist()[99])
+
+	// Job 3 mutates its own view: it removes the first edge 0 -> 1. The
+	// mutation is private; job 4 running concurrently still sees the full
+	// updated graph.
+	bfs3 := algorithms.NewBFS(0)
+	j3 := engine.NewJob(3, bfs3, 3)
+	bfs4 := algorithms.NewBFS(0)
+	j4 := engine.NewJob(4, bfs4, 4)
+
+	if err := sys.MutateChunk(3, 0, 0, func(edges []graph.Edge) []graph.Edge {
+		out := edges[:0]
+		for _, e := range edges {
+			if !(e.Src == 0 && e.Dst == 1) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}); err != nil {
+		log.Fatal(err)
+	}
+	sys.Submit(j3)
+	sys.Submit(j4)
+	if err := sys.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job 3 (private mutation, 0->1 removed): dist[1] = %d (unreached=%d)\n",
+		bfs3.Dist()[1], uint32(algorithms.Unreached))
+	fmt.Printf("job 4 (concurrent, unmutated view):     dist[1] = %d\n", bfs4.Dist()[1])
+	fmt.Printf("copy-on-write chunks still live: %d (released as jobs finish)\n", sys.OverrideChunks())
+}

@@ -1,0 +1,112 @@
+// Quickstart: run four different graph-analytics jobs concurrently over one
+// shared graph with GraphM.
+//
+// The program generates a power-law graph, partitions it GridGraph-style,
+// plugs the layout into GraphM, and submits PageRank, WCC, BFS and SSSP at
+// once. All four jobs stream a single in-memory copy of the graph in a
+// common chunk order; the printout shows the sharing statistics alongside
+// each job's result summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+func main() {
+	// 1. A synthetic social graph: 10k vertices, 120k edges, R-MAT skew.
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("quickstart", 10_000, 120_000, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges (%.1f MB)\n",
+		g.NumV, g.NumEdges(), float64(g.SizeBytes())/(1<<20))
+
+	// 2. Engine-side preprocessing: a 4x4 GridGraph grid on simulated disk.
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 4, disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. GraphM Init(): one storage system under the engine. The 256 KB
+	// simulated LLC drives Formula (1) chunk sizing.
+	mem := storage.NewMemory(disk, 64<<20)
+	cache, err := memsim.NewCache(memsim.DefaultConfig(256 << 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(grid.AsLayout(), mem, cache, core.DefaultConfig(256<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GraphM: %d partitions labelled into chunks of %d bytes\n",
+		sys.NumPartitions(), sys.ChunkBytes())
+
+	// 4. Four concurrent jobs over the same graph.
+	pr := algorithms.NewPageRank(0.85, 10)
+	wcc := algorithms.NewWCC(100)
+	bfs := algorithms.NewBFS(0)
+	sssp := algorithms.NewSSSP(0)
+	jobs := []*engine.Job{
+		engine.NewJob(1, pr, 101),
+		engine.NewJob(2, wcc, 102),
+		engine.NewJob(3, bfs, 103),
+		engine.NewJob(4, sssp, 104),
+	}
+	if err := sys.Run(jobs); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Results and sharing statistics.
+	top, rank := 0, 0.0
+	for v, r := range pr.Ranks() {
+		if r > rank {
+			top, rank = v, r
+		}
+	}
+	comps := map[uint32]bool{}
+	for _, l := range wcc.Labels() {
+		comps[l] = true
+	}
+	reached := 0
+	for _, d := range bfs.Dist() {
+		if d != algorithms.Unreached {
+			reached++
+		}
+	}
+	finite, maxDist := 0, float32(0)
+	for _, d := range sssp.Dist() {
+		if d < float32(math.Inf(1)) {
+			finite++
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	fmt.Printf("pagerank: top vertex %d (rank %.5f) after %d iterations\n", top, rank, jobs[0].Met.Iterations)
+	fmt.Printf("wcc:      %d components\n", len(comps))
+	fmt.Printf("bfs:      %d vertices reachable from 0\n", reached)
+	fmt.Printf("sssp:     %d vertices reachable, farthest at distance %.0f\n", finite, maxDist)
+
+	st := sys.StatsSnapshot()
+	fmt.Printf("\nsharing: %d rounds, %d shared partition loads, %d suspensions\n",
+		st.Rounds, st.SharedLoads, st.Suspensions)
+	fmt.Printf("memory:  %.1f MB peak for 4 jobs (one graph copy + 4 job states)\n",
+		float64(mem.Peak())/(1<<20))
+	for _, j := range jobs {
+		fmt.Printf("job %d (%s): LLC miss rate %.1f%%, %d edges scanned\n",
+			j.ID, j.Prog.Name(), 100*j.Ctr.MissRate(), j.Met.ScannedEdges)
+	}
+}

@@ -1,0 +1,245 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphm/internal/graph"
+)
+
+// runProgram drives a Program over the whole edge list per iteration,
+// honouring the active bitmap — the minimal faithful engine.
+func runProgram(t *testing.T, prog interface {
+	Reset(*graph.Graph, *rand.Rand)
+	BeforeIteration(int) bool
+	ProcessEdge(graph.Edge) bool
+	AfterIteration(int)
+}, g *graph.Graph, active func() interface{ Has(int) bool }) {
+	t.Helper()
+	prog.Reset(g, rand.New(rand.NewSource(1)))
+	for iter := 0; prog.BeforeIteration(iter); iter++ {
+		act := active()
+		for _, e := range g.Edges {
+			if act.Has(int(e.Src)) {
+				prog.ProcessEdge(e)
+			}
+		}
+		prog.AfterIteration(iter)
+		if iter > 10000 {
+			t.Fatal("program did not terminate")
+		}
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("pr", 512, 4000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := NewPageRank(0.85, 10)
+	pr.Tolerance = 1e-12 // force all 10 iterations
+	runProgram(t, pr, g, func() interface{ Has(int) bool } { return pr.Active() })
+	want := ReferencePageRank(g, 0.85, 10)
+	for v := range want {
+		if math.Abs(pr.Ranks()[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, want %g", v, pr.Ranks()[v], want[v])
+		}
+	}
+}
+
+func TestPageRankRanksSumNearOne(t *testing.T) {
+	// With damping d, the rank vector sums to ~1 (up to sink leakage of
+	// dangling vertices, which only removes mass). Sum must stay in (0, 1].
+	g, _ := graph.GenerateUniform("sum", 300, 2400, 9)
+	pr := NewPageRank(0.85, 15)
+	pr.Tolerance = 1e-12
+	runProgram(t, pr, g, func() interface{ Has(int) bool } { return pr.Active() })
+	sum := 0.0
+	for _, r := range pr.Ranks() {
+		sum += r
+	}
+	if sum <= 0 || sum > 1.0001 {
+		t.Fatalf("rank sum = %v, want (0, 1]", sum)
+	}
+}
+
+func TestPageRankRandomDamping(t *testing.T) {
+	pr := NewPageRank(0, 5)
+	g := graph.GenerateChain("c", 4)
+	pr.Reset(g, rand.New(rand.NewSource(3)))
+	if pr.Damping < 0.1 || pr.Damping > 0.85 {
+		t.Fatalf("damping %v outside [0.1, 0.85]", pr.Damping)
+	}
+}
+
+func TestWCCMatchesUnionFind(t *testing.T) {
+	g, err := graph.GenerateUniform("wcc", 400, 900, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWCC(1000) // enough iterations to converge
+	runProgram(t, w, g, func() interface{ Has(int) bool } { return w.Active() })
+	want := ReferenceWCC(g)
+	for v := range want {
+		if w.Labels()[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, w.Labels()[v], want[v])
+		}
+	}
+}
+
+func TestWCCPropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		e := rng.Intn(4 * n)
+		g, err := graph.GenerateUniform("q", n, e, seed)
+		if err != nil {
+			return false
+		}
+		w := NewWCC(10000)
+		w.Reset(g, rng)
+		for iter := 0; w.BeforeIteration(iter); iter++ {
+			for _, ed := range g.Edges {
+				if w.Active().Has(int(ed.Src)) {
+					w.ProcessEdge(ed)
+				}
+			}
+			w.AfterIteration(iter)
+		}
+		want := ReferenceWCC(g)
+		for v := range want {
+			if w.Labels()[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("bfs", 512, 3000, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBFS(0)
+	runProgram(t, b, g, func() interface{ Has(int) bool } { return b.Active() })
+	want := ReferenceBFS(g, 0)
+	for v := range want {
+		if b.Dist()[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, b.Dist()[v], want[v])
+		}
+	}
+}
+
+func TestBFSChain(t *testing.T) {
+	g := graph.GenerateChain("c", 6)
+	b := NewBFS(0)
+	runProgram(t, b, g, func() interface{ Has(int) bool } { return b.Active() })
+	for v := 0; v < 6; v++ {
+		if b.Dist()[v] != uint32(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, b.Dist()[v], v)
+		}
+	}
+}
+
+func TestBFSUnreachableStaysUnreached(t *testing.T) {
+	g := graph.MustNew("iso", 3, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}})
+	b := NewBFS(0)
+	runProgram(t, b, g, func() interface{ Has(int) bool } { return b.Active() })
+	if b.Dist()[2] != Unreached {
+		t.Fatalf("isolated vertex reached: dist=%d", b.Dist()[2])
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	g, err := graph.GenerateUniform("sssp", 300, 2500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSSSP(0)
+	runProgram(t, s, g, func() interface{ Has(int) bool } { return s.Active() })
+	want := ReferenceSSSP(g, 0)
+	for v := range want {
+		got := s.Dist()[v]
+		if math.IsInf(float64(want[v]), 1) != math.IsInf(float64(got), 1) {
+			t.Fatalf("dist[%d] reachability mismatch: %v vs %v", v, got, want[v])
+		}
+		if !math.IsInf(float64(want[v]), 1) && math.Abs(float64(got-want[v])) > 1e-3 {
+			t.Fatalf("dist[%d] = %v, want %v", v, got, want[v])
+		}
+	}
+}
+
+func TestSSSPPropertyTriangleInequality(t *testing.T) {
+	// Property: for every edge (u,v,w), dist[v] <= dist[u] + w after
+	// convergence.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		g, err := graph.GenerateUniform("q", n, 3*n, seed)
+		if err != nil {
+			return false
+		}
+		s := NewSSSP(graph.VertexID(rng.Intn(n)))
+		s.Reset(g, rng)
+		for iter := 0; s.BeforeIteration(iter); iter++ {
+			for _, e := range g.Edges {
+				if s.Active().Has(int(e.Src)) {
+					s.ProcessEdge(e)
+				}
+			}
+			s.AfterIteration(iter)
+		}
+		for _, e := range g.Edges {
+			du, dv := s.Dist()[e.Src], s.Dist()[e.Dst]
+			if !math.IsInf(float64(du), 1) && dv > du+e.Weight+1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRoots(t *testing.T) {
+	g, _ := graph.GenerateUniform("r", 100, 200, 2)
+	b := NewRandomBFS()
+	b.Reset(g, rand.New(rand.NewSource(4)))
+	if int(b.Root) >= g.NumV {
+		t.Fatalf("root %d out of range", b.Root)
+	}
+	s := NewRandomSSSP()
+	s.Reset(g, rand.New(rand.NewSource(4)))
+	if int(s.Root) >= g.NumV {
+		t.Fatalf("root %d out of range", s.Root)
+	}
+}
+
+func TestEdgeCostsDistinct(t *testing.T) {
+	// The profiling phase relies on jobs having skewed computational loads;
+	// the four algorithms must not all report identical costs.
+	costs := map[string]float64{
+		"pr":   NewPageRank(0.85, 1).EdgeCost(),
+		"wcc":  NewWCC(1).EdgeCost(),
+		"bfs":  NewBFS(0).EdgeCost(),
+		"sssp": NewSSSP(0).EdgeCost(),
+	}
+	seen := map[float64]bool{}
+	distinct := 0
+	for _, c := range costs {
+		if !seen[c] {
+			seen[c] = true
+			distinct++
+		}
+	}
+	if distinct < 3 {
+		t.Fatalf("edge costs insufficiently skewed: %v", costs)
+	}
+}

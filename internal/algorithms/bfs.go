@@ -1,0 +1,111 @@
+package algorithms
+
+import (
+	"math/rand"
+
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// Unreached marks a vertex not yet reached by BFS/SSSP.
+const Unreached = ^uint32(0)
+
+// BFS computes hop distances from a root with frontier-based traversal. It
+// starts with a single active vertex and activates more as the frontier
+// expands — the paper's canonical example of a job that skips most of the
+// graph early on (Section 3.4.1, Section 4).
+type BFS struct {
+	Root graph.VertexID // randomised by Reset when RootSet is false
+	// RootSet pins Root instead of randomising it (Figure 17 sweeps roots).
+	RootSet bool
+
+	g      *graph.Graph
+	dist   []uint32
+	active *engine.Bitmap
+	next   *engine.Bitmap
+}
+
+// NewBFS returns a BFS from a fixed root.
+func NewBFS(root graph.VertexID) *BFS { return &BFS{Root: root, RootSet: true} }
+
+// NewRandomBFS returns a BFS whose root is drawn by Reset.
+func NewRandomBFS() *BFS { return &BFS{} }
+
+// Name implements engine.Program.
+func (b *BFS) Name() string { return "bfs" }
+
+// Reset implements engine.Program.
+func (b *BFS) Reset(g *graph.Graph, rng *rand.Rand) {
+	b.g = g
+	if !b.RootSet {
+		b.Root = graph.VertexID(rng.Intn(g.NumV))
+	}
+	b.dist = make([]uint32, g.NumV)
+	for i := range b.dist {
+		b.dist[i] = Unreached
+	}
+	b.dist[b.Root] = 0
+	b.active = engine.NewBitmap(g.NumV)
+	b.active.Set(int(b.Root))
+	b.next = engine.NewBitmap(g.NumV)
+}
+
+// BeforeIteration implements engine.Program.
+func (b *BFS) BeforeIteration(iter int) bool {
+	if !b.active.Any() {
+		return false
+	}
+	b.next.Reset()
+	return true
+}
+
+// ProcessEdge implements engine.Program.
+func (b *BFS) ProcessEdge(e graph.Edge) bool {
+	if b.dist[e.Dst] == Unreached {
+		b.dist[e.Dst] = b.dist[e.Src] + 1
+		b.next.Set(int(e.Dst))
+		return true
+	}
+	return false
+}
+
+// AfterIteration implements engine.Program.
+func (b *BFS) AfterIteration(iter int) {
+	b.active.CopyFrom(b.next)
+}
+
+// Active implements engine.Program.
+func (b *BFS) Active() *engine.Bitmap { return b.active }
+
+// StateBytes implements engine.Program.
+func (b *BFS) StateBytes() int64 {
+	return int64(len(b.dist))*4 + b.active.Bytes() + b.next.Bytes()
+}
+
+// EdgeCost implements engine.Program: one compare, very cheap.
+func (b *BFS) EdgeCost() float64 { return 0.5 }
+
+// Dist exposes hop distances for verification.
+func (b *BFS) Dist() []uint32 { return b.dist }
+
+// ReferenceBFS computes hop distances with a queue for tests.
+func ReferenceBFS(g *graph.Graph, root graph.VertexID) []uint32 {
+	g.BuildCSR()
+	dist := make([]uint32, g.NumV)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.OutEdges(v) {
+			if dist[e.Dst] == Unreached {
+				dist[e.Dst] = dist[v] + 1
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	return dist
+}

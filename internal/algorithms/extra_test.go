@@ -1,0 +1,152 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphm/internal/graph"
+)
+
+func TestPPRMatchesReference(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("ppr", 400, 3000, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPersonalizedPageRank(7, 0.85, 12)
+	p.Tolerance = 1e-15
+	runProgram(t, p, g, func() interface{ Has(int) bool } { return p.Active() })
+	want := ReferencePPR(g, 7, 0.85, 12)
+	for v := range want {
+		if math.Abs(p.Ranks()[v]-want[v]) > 1e-9 {
+			t.Fatalf("ppr[%d] = %g, want %g", v, p.Ranks()[v], want[v])
+		}
+	}
+}
+
+func TestPPRMassConcentratesAtSource(t *testing.T) {
+	g, _ := graph.GenerateUniform("c", 200, 1200, 4)
+	p := NewPersonalizedPageRank(3, 0.5, 20)
+	runProgram(t, p, g, func() interface{ Has(int) bool } { return p.Active() })
+	src := p.Ranks()[3]
+	for v, r := range p.Ranks() {
+		if v != 3 && r > src {
+			t.Fatalf("vertex %d rank %g exceeds source rank %g", v, r, src)
+		}
+	}
+}
+
+func TestPPRRandomSource(t *testing.T) {
+	g, _ := graph.GenerateUniform("r", 100, 400, 5)
+	p := NewRandomPPR()
+	p.Reset(g, rand.New(rand.NewSource(6)))
+	if int(p.Source) >= g.NumV {
+		t.Fatalf("source %d out of range", p.Source)
+	}
+}
+
+func TestLabelPropagationMatchesReference(t *testing.T) {
+	g, err := graph.GenerateUniform("lp", 300, 1800, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLabelPropagation(6)
+	runProgram(t, lp, g, func() interface{ Has(int) bool } { return lp.Active() })
+	want := ReferenceLabelPropagation(g, 6)
+	for v := range want {
+		if lp.Labels()[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, lp.Labels()[v], want[v])
+		}
+	}
+}
+
+func TestLabelPropagationIsolatedVertexKeepsLabel(t *testing.T) {
+	g := graph.MustNew("iso", 3, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}})
+	lp := NewLabelPropagation(5)
+	runProgram(t, lp, g, func() interface{ Has(int) bool } { return lp.Active() })
+	if lp.Labels()[2] != 2 {
+		t.Fatalf("isolated vertex changed label to %d", lp.Labels()[2])
+	}
+	if lp.Labels()[1] != 0 {
+		t.Fatalf("vertex 1 should adopt 0's label, got %d", lp.Labels()[1])
+	}
+}
+
+func TestKCoreMatchesReference(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("kc", 300, 2400, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 5} {
+		kc := NewKCore(k)
+		runProgram(t, kc, g, func() interface{ Has(int) bool } { return kc.Active() })
+		want := ReferenceKCore(g, k)
+		for v := range want {
+			if kc.InCore(graph.VertexID(v)) != want[v] {
+				t.Fatalf("k=%d: InCore(%d) = %v, want %v", k, v, kc.InCore(graph.VertexID(v)), want[v])
+			}
+		}
+	}
+}
+
+func TestKCoreMonotoneInK(t *testing.T) {
+	// Property: the (k+1)-core is a subgraph of the k-core.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		g, err := graph.GenerateUniform("q", n, 4*n, seed)
+		if err != nil {
+			return false
+		}
+		prev := ReferenceKCore(g, 2)
+		for k := 3; k <= 5; k++ {
+			cur := ReferenceKCore(g, k)
+			for v := range cur {
+				if cur[v] && !prev[v] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCoreStreamingMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		g, err := graph.GenerateUniform("q", n, 3*n, seed)
+		if err != nil {
+			return false
+		}
+		k := 2 + rng.Intn(4)
+		kc := NewKCore(k)
+		kc.Reset(g, rng)
+		for iter := 0; kc.BeforeIteration(iter); iter++ {
+			for _, e := range g.Edges {
+				if kc.Active().Has(int(e.Src)) {
+					kc.ProcessEdge(e)
+				}
+			}
+			kc.AfterIteration(iter)
+			if iter > 10*n {
+				return false
+			}
+		}
+		want := ReferenceKCore(g, k)
+		for v := range want {
+			if kc.InCore(graph.VertexID(v)) != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

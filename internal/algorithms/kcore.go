@@ -1,0 +1,153 @@
+package algorithms
+
+import (
+	"math/rand"
+
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// KCore computes the k-core membership by iterative peeling in the
+// edge-streaming model: vertices whose (undirected) degree among remaining
+// vertices falls below K are removed, repeatedly, until a fixed point. The
+// result marks the vertices of the k-core subgraph.
+//
+// Peeling is frontier-like in reverse: early iterations process the whole
+// graph, later ones only re-count neighbourhoods of surviving vertices, so
+// its access pattern sits between PageRank's full scans and BFS's sparse
+// frontiers — a useful third profile for the synchronization manager.
+type KCore struct {
+	K int
+
+	g       *graph.Graph
+	deg     []int32
+	removed []bool
+	active  *engine.Bitmap
+	changed bool
+}
+
+// NewKCore returns a k-core program; k of 0 draws from [2, 8] at Reset.
+func NewKCore(k int) *KCore { return &KCore{K: k} }
+
+// Name implements engine.Program.
+func (kc *KCore) Name() string { return "kcore" }
+
+// Reset implements engine.Program.
+func (kc *KCore) Reset(g *graph.Graph, rng *rand.Rand) {
+	kc.g = g
+	if kc.K == 0 {
+		kc.K = 2 + rng.Intn(7)
+	}
+	kc.deg = make([]int32, g.NumV)
+	kc.removed = make([]bool, g.NumV)
+	kc.active = engine.NewBitmap(g.NumV)
+	kc.active.SetAll()
+}
+
+// BeforeIteration implements engine.Program. Iteration 0 counts degrees;
+// later iterations re-count after peeling.
+func (kc *KCore) BeforeIteration(iter int) bool {
+	if iter > 0 && !kc.changed {
+		return false
+	}
+	for i := range kc.deg {
+		kc.deg[i] = 0
+	}
+	kc.changed = false
+	return true
+}
+
+// ProcessEdge implements engine.Program: count degrees among survivors,
+// treating edges as undirected.
+func (kc *KCore) ProcessEdge(e graph.Edge) bool {
+	if kc.removed[e.Src] || kc.removed[e.Dst] {
+		return false
+	}
+	kc.deg[e.Src]++
+	kc.deg[e.Dst]++
+	return false
+}
+
+// AfterIteration implements engine.Program: peel vertices below K.
+func (kc *KCore) AfterIteration(iter int) {
+	for v := range kc.deg {
+		if !kc.removed[v] && kc.deg[v] < int32(kc.K) {
+			kc.removed[v] = true
+			kc.changed = true
+		}
+	}
+	// Removed vertices stop being active sources; survivors stay active so
+	// their edges are re-counted next round.
+	for v := range kc.removed {
+		if kc.removed[v] {
+			kc.active.Clear(v)
+		} else {
+			kc.active.Set(v)
+		}
+	}
+}
+
+// Active implements engine.Program.
+func (kc *KCore) Active() *engine.Bitmap { return kc.active }
+
+// StateBytes implements engine.Program.
+func (kc *KCore) StateBytes() int64 {
+	return int64(len(kc.deg))*5 + kc.active.Bytes()
+}
+
+// EdgeCost implements engine.Program.
+func (kc *KCore) EdgeCost() float64 { return 0.7 }
+
+// InCore reports whether v survives in the k-core.
+func (kc *KCore) InCore(v graph.VertexID) bool { return !kc.removed[v] }
+
+// CoreSize returns the number of vertices in the k-core.
+func (kc *KCore) CoreSize() int {
+	n := 0
+	for _, r := range kc.removed {
+		if !r {
+			n++
+		}
+	}
+	return n
+}
+
+// ReferenceKCore peels with an explicit queue over an undirected adjacency
+// for tests.
+func ReferenceKCore(g *graph.Graph, k int) []bool {
+	deg := make([]int, g.NumV)
+	adj := make([][]graph.VertexID, g.NumV)
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	removed := make([]bool, g.NumV)
+	queue := []graph.VertexID{}
+	for v := 0; v < g.NumV; v++ {
+		if deg[v] < k {
+			removed[v] = true
+			queue = append(queue, graph.VertexID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			if deg[u] < k {
+				removed[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	inCore := make([]bool, g.NumV)
+	for v := range inCore {
+		inCore[v] = !removed[v]
+	}
+	return inCore
+}

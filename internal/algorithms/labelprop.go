@@ -1,0 +1,153 @@
+package algorithms
+
+import (
+	"math/rand"
+
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// LabelPropagation is synchronous community detection by majority label
+// voting (the algorithm family the paper's introduction cites alongside
+// PageRank as Facebook's concurrent workloads). Each iteration every vertex
+// adopts the most frequent label among its in-neighbours, ties broken by
+// the smaller label; labels start as vertex IDs.
+//
+// Like WCC it is network-intensive: every vertex stays active until labels
+// stop changing or the iteration budget runs out.
+type LabelPropagation struct {
+	MaxIters int
+
+	g      *graph.Graph
+	label  []uint32
+	votes  []map[uint32]int
+	active *engine.Bitmap
+	moved  bool
+}
+
+// NewLabelPropagation returns a label-propagation program; maxIters 0 draws
+// a random budget at Reset per Section 5.1's randomised job parameters.
+func NewLabelPropagation(maxIters int) *LabelPropagation {
+	return &LabelPropagation{MaxIters: maxIters}
+}
+
+// Name implements engine.Program.
+func (lp *LabelPropagation) Name() string { return "labelprop" }
+
+// Reset implements engine.Program.
+func (lp *LabelPropagation) Reset(g *graph.Graph, rng *rand.Rand) {
+	lp.g = g
+	if lp.MaxIters == 0 {
+		lp.MaxIters = 1 + rng.Intn(10)
+	}
+	lp.label = make([]uint32, g.NumV)
+	for i := range lp.label {
+		lp.label[i] = uint32(i)
+	}
+	lp.votes = make([]map[uint32]int, g.NumV)
+	lp.active = engine.NewBitmap(g.NumV)
+	lp.active.SetAll()
+}
+
+// BeforeIteration implements engine.Program.
+func (lp *LabelPropagation) BeforeIteration(iter int) bool {
+	if iter >= lp.MaxIters {
+		return false
+	}
+	if iter > 0 && !lp.moved {
+		return false
+	}
+	for i := range lp.votes {
+		lp.votes[i] = nil
+	}
+	lp.moved = false
+	return true
+}
+
+// ProcessEdge implements engine.Program: the source votes its label onto
+// the destination.
+func (lp *LabelPropagation) ProcessEdge(e graph.Edge) bool {
+	m := lp.votes[e.Dst]
+	if m == nil {
+		m = make(map[uint32]int, 4)
+		lp.votes[e.Dst] = m
+	}
+	m[lp.label[e.Src]]++
+	return false
+}
+
+// AfterIteration implements engine.Program: each vertex adopts the majority
+// vote.
+func (lp *LabelPropagation) AfterIteration(iter int) {
+	for v, m := range lp.votes {
+		if len(m) == 0 {
+			continue
+		}
+		best := lp.label[v]
+		bestCount := 0
+		for l, c := range m {
+			if c > bestCount || (c == bestCount && l < best) {
+				best, bestCount = l, c
+			}
+		}
+		if best != lp.label[v] {
+			lp.label[v] = best
+			lp.moved = true
+		}
+	}
+}
+
+// Active implements engine.Program.
+func (lp *LabelPropagation) Active() *engine.Bitmap { return lp.active }
+
+// StateBytes implements engine.Program. The vote maps are transient
+// per-iteration scratch; the durable state is the label array + bitmap.
+func (lp *LabelPropagation) StateBytes() int64 {
+	return int64(len(lp.label))*4 + lp.active.Bytes()
+}
+
+// EdgeCost implements engine.Program: a map update — the most expensive
+// edge function in the suite, giving the profiler strongly skewed loads.
+func (lp *LabelPropagation) EdgeCost() float64 { return 2.5 }
+
+// Labels exposes the community labels.
+func (lp *LabelPropagation) Labels() []uint32 { return lp.label }
+
+// ReferenceLabelPropagation runs the same synchronous majority voting over
+// the raw edge list for tests.
+func ReferenceLabelPropagation(g *graph.Graph, iters int) []uint32 {
+	label := make([]uint32, g.NumV)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	for it := 0; it < iters; it++ {
+		votes := make([]map[uint32]int, g.NumV)
+		for _, e := range g.Edges {
+			if votes[e.Dst] == nil {
+				votes[e.Dst] = make(map[uint32]int)
+			}
+			votes[e.Dst][label[e.Src]]++
+		}
+		moved := false
+		for v, m := range votes {
+			if len(m) == 0 {
+				continue
+			}
+			best := label[v]
+			bestCount := 0
+			for l, c := range m {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			if best != label[v] {
+				label[v] = best
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return label
+}

@@ -1,0 +1,153 @@
+// Package algorithms implements the paper's four benchmark algorithms —
+// PageRank, WCC, BFS and SSSP — as engine-neutral edge programs
+// (engine.Program), plus sequential reference implementations used by the
+// test suite as ground truth.
+//
+// Per Section 5.1, job parameters are randomised: PageRank's damping factor
+// is drawn from [0.1, 0.85], BFS/SSSP roots are random vertices, and WCC's
+// iteration budget is a random integer in [1, max].
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// PageRank is the classic iterative rank computation. It is
+// network-intensive: every vertex is active every iteration (no frontier
+// skipping), so it traverses the whole graph structure each pass.
+type PageRank struct {
+	Damping   float64 // set by Reset from rng if zero
+	MaxIters  int     // default 10
+	Tolerance float64 // early exit when total delta falls below; default 1e-7
+
+	g       *graph.Graph
+	rank    []float64
+	next    []float64
+	outDeg  []uint32
+	active  *engine.Bitmap
+	iters   int
+	done    bool
+	lastErr float64
+}
+
+// NewPageRank returns a PageRank program with the given fixed parameters;
+// zero values are randomised/defaulted by Reset.
+func NewPageRank(damping float64, maxIters int) *PageRank {
+	return &PageRank{Damping: damping, MaxIters: maxIters}
+}
+
+// Name implements engine.Program.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// Reset implements engine.Program.
+func (p *PageRank) Reset(g *graph.Graph, rng *rand.Rand) {
+	p.g = g
+	if p.Damping == 0 {
+		// Section 5.1: damping randomly set between 0.1 and 0.85 per job.
+		p.Damping = 0.1 + rng.Float64()*0.75
+	}
+	if p.MaxIters == 0 {
+		p.MaxIters = 10
+	}
+	if p.Tolerance == 0 {
+		p.Tolerance = 1e-7
+	}
+	n := g.NumV
+	p.rank = make([]float64, n)
+	p.next = make([]float64, n)
+	for i := range p.rank {
+		p.rank[i] = 1.0 / float64(n)
+	}
+	p.outDeg = g.OutDegrees()
+	p.active = engine.NewBitmap(n)
+	p.active.SetAll()
+	p.iters = 0
+	p.done = false
+}
+
+// BeforeIteration implements engine.Program.
+func (p *PageRank) BeforeIteration(iter int) bool {
+	if p.done || iter >= p.MaxIters {
+		return false
+	}
+	for i := range p.next {
+		p.next[i] = 0
+	}
+	return true
+}
+
+// ProcessEdge implements engine.Program. PageRank never "activates" in the
+// frontier sense; it returns false and keeps all vertices active.
+func (p *PageRank) ProcessEdge(e graph.Edge) bool {
+	d := p.outDeg[e.Src]
+	if d == 0 {
+		return false
+	}
+	p.next[e.Dst] += p.rank[e.Src] / float64(d)
+	return false
+}
+
+// AfterIteration implements engine.Program.
+func (p *PageRank) AfterIteration(iter int) {
+	n := float64(p.g.NumV)
+	base := (1 - p.Damping) / n
+	delta := 0.0
+	for i := range p.next {
+		nv := base + p.Damping*p.next[i]
+		delta += math.Abs(nv - p.rank[i])
+		p.rank[i] = nv
+	}
+	p.lastErr = delta
+	p.iters++
+	if delta < p.Tolerance {
+		p.done = true
+	}
+}
+
+// Active implements engine.Program.
+func (p *PageRank) Active() *engine.Bitmap { return p.active }
+
+// StateBytes implements engine.Program: two float64 arrays plus the bitmap.
+func (p *PageRank) StateBytes() int64 {
+	return int64(len(p.rank))*16 + p.active.Bytes()
+}
+
+// EdgeCost implements engine.Program. PageRank's edge function does a
+// floating divide and add: medium cost.
+func (p *PageRank) EdgeCost() float64 { return 1.0 }
+
+// Ranks exposes the converged ranks for verification.
+func (p *PageRank) Ranks() []float64 { return p.rank }
+
+// Error returns the last iteration's L1 delta.
+func (p *PageRank) Error() float64 { return p.lastErr }
+
+// ReferencePageRank computes PageRank by plain power iteration for tests.
+func ReferencePageRank(g *graph.Graph, damping float64, iters int) []float64 {
+	n := g.NumV
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	deg := g.OutDegrees()
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for _, e := range g.Edges {
+			if deg[e.Src] > 0 {
+				next[e.Dst] += rank[e.Src] / float64(deg[e.Src])
+			}
+		}
+		base := (1 - damping) / float64(n)
+		for i := range rank {
+			rank[i] = base + damping*next[i]
+		}
+	}
+	return rank
+}

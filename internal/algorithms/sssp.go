@@ -1,0 +1,130 @@
+package algorithms
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// SSSP computes single-source shortest paths by iterative edge relaxation
+// (Bellman-Ford style with frontiers), the standard formulation for
+// edge-streaming engines.
+type SSSP struct {
+	Root    graph.VertexID
+	RootSet bool
+
+	g      *graph.Graph
+	dist   []float32
+	active *engine.Bitmap
+	next   *engine.Bitmap
+}
+
+// NewSSSP returns an SSSP from a fixed root.
+func NewSSSP(root graph.VertexID) *SSSP { return &SSSP{Root: root, RootSet: true} }
+
+// NewRandomSSSP returns an SSSP whose root is drawn by Reset.
+func NewRandomSSSP() *SSSP { return &SSSP{} }
+
+// Name implements engine.Program.
+func (s *SSSP) Name() string { return "sssp" }
+
+// Reset implements engine.Program.
+func (s *SSSP) Reset(g *graph.Graph, rng *rand.Rand) {
+	s.g = g
+	if !s.RootSet {
+		s.Root = graph.VertexID(rng.Intn(g.NumV))
+	}
+	s.dist = make([]float32, g.NumV)
+	for i := range s.dist {
+		s.dist[i] = float32(math.Inf(1))
+	}
+	s.dist[s.Root] = 0
+	s.active = engine.NewBitmap(g.NumV)
+	s.active.Set(int(s.Root))
+	s.next = engine.NewBitmap(g.NumV)
+}
+
+// BeforeIteration implements engine.Program.
+func (s *SSSP) BeforeIteration(iter int) bool {
+	if !s.active.Any() {
+		return false
+	}
+	s.next.Reset()
+	return true
+}
+
+// ProcessEdge implements engine.Program.
+func (s *SSSP) ProcessEdge(e graph.Edge) bool {
+	if nd := s.dist[e.Src] + e.Weight; nd < s.dist[e.Dst] {
+		s.dist[e.Dst] = nd
+		s.next.Set(int(e.Dst))
+		return true
+	}
+	return false
+}
+
+// AfterIteration implements engine.Program.
+func (s *SSSP) AfterIteration(iter int) {
+	s.active.CopyFrom(s.next)
+}
+
+// Active implements engine.Program.
+func (s *SSSP) Active() *engine.Bitmap { return s.active }
+
+// StateBytes implements engine.Program.
+func (s *SSSP) StateBytes() int64 {
+	return int64(len(s.dist))*4 + s.active.Bytes() + s.next.Bytes()
+}
+
+// EdgeCost implements engine.Program: float add + compare.
+func (s *SSSP) EdgeCost() float64 { return 0.8 }
+
+// Dist exposes the distances for verification.
+func (s *SSSP) Dist() []float32 { return s.dist }
+
+// ReferenceSSSP computes shortest paths with Dijkstra for tests. Weights
+// must be non-negative, which the generators guarantee.
+func ReferenceSSSP(g *graph.Graph, root graph.VertexID) []float32 {
+	g.BuildCSR()
+	dist := make([]float32, g.NumV)
+	for i := range dist {
+		dist[i] = float32(math.Inf(1))
+	}
+	dist[root] = 0
+	pq := &vertexHeap{items: []heapItem{{v: root, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range g.OutEdges(it.v) {
+			if nd := it.d + e.Weight; nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				heap.Push(pq, heapItem{v: e.Dst, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	v graph.VertexID
+	d float32
+}
+
+type vertexHeap struct{ items []heapItem }
+
+func (h *vertexHeap) Len() int           { return len(h.items) }
+func (h *vertexHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *vertexHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vertexHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

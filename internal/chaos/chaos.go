@@ -1,0 +1,203 @@
+// Package chaos implements a Chaos-style engine substrate (Roy et al.,
+// SOSP'15) over the simulated cluster: the edge list is split into flat
+// chunks scattered round-robin across the group's storage, and computation
+// streams *all* edges over the network every iteration — Chaos trades
+// locality for scale-out simplicity, so its cost is dominated by network
+// streaming bandwidth.
+//
+// This substrate reproduces the paper's Table 4 shape for Chaos: the
+// concurrent baseline (-C) is *slower* than sequential (-S) because
+// concurrent jobs re-stream the same edge chunks and contend on the NIC,
+// while the GraphM-integrated mode streams each chunk once per round for
+// all jobs.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"graphm/internal/cluster"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+// Chunk is one scattered slice of the global edge list.
+type Chunk struct {
+	Node     *cluster.Node
+	ID       int
+	Edges    []graph.Edge
+	DiskName string
+}
+
+// Scattered is a graph spread over one group of nodes.
+type Scattered struct {
+	G      *graph.Graph
+	Group  []*cluster.Node
+	Chunks []*Chunk
+}
+
+// Build scatters g's edges across the group in fixed-size chunks (several
+// per node, so streaming pipelines).
+func Build(g *graph.Graph, group []*cluster.Node, chunksPerNode int) (*Scattered, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("chaos: empty node group")
+	}
+	if chunksPerNode <= 0 {
+		chunksPerNode = 4
+	}
+	total := len(group) * chunksPerNode
+	per := (len(g.Edges) + total - 1) / total
+	if per == 0 {
+		per = 1
+	}
+	s := &Scattered{G: g, Group: group}
+	for i := 0; i*per < len(g.Edges); i++ {
+		lo, hi := i*per, (i+1)*per
+		if hi > len(g.Edges) {
+			hi = len(g.Edges)
+		}
+		node := group[i%len(group)]
+		c := &Chunk{
+			Node:     node,
+			ID:       i,
+			Edges:    g.Edges[lo:hi],
+			DiskName: fmt.Sprintf("%s/chaos/c%d", g.Name, i),
+		}
+		node.Disk.Write(c.DiskName, graph.EncodeEdges(c.Edges))
+		s.Chunks = append(s.Chunks, c)
+	}
+	return s, nil
+}
+
+// AsLayout exposes the chunks to GraphM as partitions. Chaos has no
+// source-range index, so chunks cover the full vertex range.
+func (s *Scattered) AsLayout() core.Layout {
+	parts := make([]*core.Partition, 0, len(s.Chunks))
+	for _, c := range s.Chunks {
+		parts = append(parts, &core.Partition{
+			ID:       c.ID,
+			SrcLo:    0,
+			SrcHi:    s.G.NumV,
+			DiskName: c.DiskName,
+			Edges:    c.Edges,
+		})
+	}
+	return core.NewLayout(s.G, parts)
+}
+
+// SharedMemory builds the group's aggregate memory view with every chunk
+// blob reachable, for the GraphM-integrated mode.
+func (s *Scattered) SharedMemory(perNodeBudget int64) *storage.Memory {
+	disk := storage.NewDisk()
+	for _, c := range s.Chunks {
+		disk.Write(c.DiskName, graph.EncodeEdges(c.Edges))
+	}
+	total := perNodeBudget * int64(len(s.Group))
+	disk.SetPageCache(total)
+	return storage.NewMemory(disk, total)
+}
+
+// Runner executes jobs in the baseline modes (Chaos-S / Chaos-C).
+type Runner struct {
+	S     *Scattered
+	Net   *cluster.Network
+	Cache *memsim.Cache
+	Cost  engine.CostModel
+	Mem   *storage.Memory
+}
+
+// NewRunner wires a baseline runner.
+func NewRunner(s *Scattered, net *cluster.Network, mem *storage.Memory, cache *memsim.Cache) *Runner {
+	return &Runner{S: s, Net: net, Mem: mem, Cache: cache, Cost: engine.DefaultCostModel()}
+}
+
+// RunSequential executes jobs one at a time (Chaos-S).
+func (r *Runner) RunSequential(jobs []*engine.Job) error {
+	for _, j := range jobs {
+		if err := r.runJob(j, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunConcurrent executes jobs simultaneously; every job streams its own
+// copy of every chunk over the shared NIC (Chaos-C).
+func (r *Runner) RunConcurrent(jobs []*engine.Job) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *engine.Job) {
+			defer wg.Done()
+			if err := r.runJob(j, true); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+func (r *Runner) runJob(j *engine.Job, perJobCopy bool) error {
+	j.Bind(r.S.G)
+	state := j.Prog.StateBytes()
+	j.StateBase = r.Mem.AllocAddr(state)
+	r.Mem.ReserveJobData(state)
+	defer r.Mem.ReserveJobData(-state)
+
+	stop := r.Net.StartStream()
+	defer stop()
+	for iter := 0; j.Prog.BeforeIteration(iter); iter++ {
+		for _, c := range r.S.Chunks {
+			if len(c.Edges) == 0 {
+				continue
+			}
+			key := c.DiskName
+			if perJobCopy {
+				key = fmt.Sprintf("%s#job%d", c.DiskName, j.ID)
+			}
+			buf, io, err := r.Mem.Load(key, c.DiskName)
+			if err != nil {
+				return fmt.Errorf("chaos: job %d chunk %d: %w", j.ID, c.ID, err)
+			}
+			if io != storage.IONone {
+				j.Met.SimIONS += r.Cost.DiskNS(uint64(len(buf.Data)))
+			}
+			// Chaos streams every chunk over the network each traversal,
+			// resident or not: remote storage is the common case. Chunks
+			// are scattered, so the group's NICs stream in parallel.
+			j.Met.SimIONS += r.Net.TransferNS(uint64(len(c.Edges))*graph.EdgeSize) / uint64(len(r.S.Group))
+			j.Met.PartitionLoads++
+			engine.StreamEdges(j, c.Edges, buf.BaseAddr, 0, r.Cache, r.Cost)
+			buf.Release()
+		}
+		j.Prog.AfterIteration(iter)
+		j.Met.Iterations++
+		j.Iter = iter + 1
+	}
+	j.Done = true
+	return nil
+}
+
+// LoadHook prices the network streaming for the GraphM-integrated mode:
+// each shared chunk load crosses the network once and is amortized across
+// the attending jobs.
+func (s *Scattered) LoadHook(net *cluster.Network) func(diskBytes, attendees int) uint64 {
+	nodes := uint64(len(s.Group))
+	return func(diskBytes, attendees int) uint64 {
+		if attendees < 1 {
+			attendees = 1
+		}
+		return net.TransferNS(uint64(diskBytes)) / nodes / uint64(attendees)
+	}
+}

@@ -1,0 +1,157 @@
+package chunk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphm/internal/graph"
+)
+
+func TestChunkSizeFormula(t *testing.T) {
+	p := SizeParams{
+		NumCores:  8,
+		LLCBytes:  20 << 20, // the paper's 20 MB LLC
+		GraphSize: 10 << 30,
+		NumV:      41_700_000,
+		VertexPay: 8,
+		Reserved:  1 << 20,
+	}
+	sc, err := ChunkSize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the Formula (1) inequality holds at the returned size.
+	lhs := float64(sc*int64(p.NumCores)) +
+		float64(sc*int64(p.NumCores))/float64(p.GraphSize)*float64(p.NumV)*float64(p.VertexPay) +
+		float64(p.Reserved)
+	if lhs > float64(p.LLCBytes) {
+		t.Fatalf("formula violated: lhs=%v > LLC=%d at Sc=%d", lhs, p.LLCBytes, sc)
+	}
+	// And that it is maximal up to one alignment unit.
+	align := int64(192) // lcm(12, 64)
+	lhs2 := float64((sc+align)*int64(p.NumCores)) +
+		float64((sc+align)*int64(p.NumCores))/float64(p.GraphSize)*float64(p.NumV)*float64(p.VertexPay) +
+		float64(p.Reserved)
+	if lhs2 <= float64(p.LLCBytes) {
+		t.Fatalf("Sc=%d not maximal: Sc+%d still satisfies the formula", sc, align)
+	}
+	if sc%align != 0 {
+		t.Fatalf("Sc=%d not aligned to %d", sc, align)
+	}
+}
+
+func TestChunkSizeValidation(t *testing.T) {
+	if _, err := ChunkSize(SizeParams{}); err == nil {
+		t.Fatal("expected error on zero params")
+	}
+	p := SizeParams{NumCores: 4, LLCBytes: 1024, GraphSize: 1 << 20, NumV: 100, VertexPay: 8, Reserved: 2048}
+	if _, err := ChunkSize(p); err == nil {
+		t.Fatal("expected error when reserved exceeds LLC")
+	}
+}
+
+func TestChunkSizeClampsToMinimum(t *testing.T) {
+	// A tiny LLC still yields one aligned unit so streaming works.
+	p := SizeParams{NumCores: 16, LLCBytes: 4096, GraphSize: 1 << 30, NumV: 1 << 20, VertexPay: 8, Reserved: 0}
+	sc, err := ChunkSize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != 192 {
+		t.Fatalf("Sc = %d, want minimum alignment 192", sc)
+	}
+}
+
+func TestLabelCoversAllEdgesOnce(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("l", 256, 3000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Label(0, g.Edges, 960) // 80 edges per chunk
+	total := 0
+	for i, c := range set.Chunks {
+		if c.NumEdges != c.TotalEdges() {
+			t.Fatalf("chunk %d: NumEdges=%d but table sums to %d", i, c.NumEdges, c.TotalEdges())
+		}
+		total += c.NumEdges
+	}
+	if total != len(g.Edges) {
+		t.Fatalf("chunks cover %d edges, want %d", total, len(g.Edges))
+	}
+	// Chunks must tile the stream contiguously.
+	next := 0
+	for i, c := range set.Chunks {
+		if c.FirstEdge != next {
+			t.Fatalf("chunk %d starts at %d, want %d", i, c.FirstEdge, next)
+		}
+		next += c.NumEdges
+	}
+}
+
+func TestLabelOutCountsMatchStream(t *testing.T) {
+	g, _ := graph.GenerateUniform("u", 100, 1000, 9)
+	set := Label(1, g.Edges, 1200) // 100 edges per chunk
+	for _, c := range set.Chunks {
+		counts := map[graph.VertexID]uint32{}
+		for _, e := range g.Edges[c.FirstEdge : c.FirstEdge+c.NumEdges] {
+			counts[e.Src]++
+		}
+		if len(counts) != len(c.Entries) {
+			t.Fatalf("chunk has %d entries, want %d", len(c.Entries), len(counts))
+		}
+		for _, entry := range c.Entries {
+			if counts[entry.Vertex] != entry.OutCnt {
+				t.Fatalf("N+(%d) = %d, want %d", entry.Vertex, entry.OutCnt, counts[entry.Vertex])
+			}
+			if c.OutCount(entry.Vertex) != entry.OutCnt {
+				t.Fatalf("OutCount(%d) lookup mismatch", entry.Vertex)
+			}
+		}
+	}
+}
+
+func TestLabelEmptyPartition(t *testing.T) {
+	set := Label(0, nil, 960)
+	if set.NumChunks() != 0 {
+		t.Fatalf("empty partition labelled with %d chunks", set.NumChunks())
+	}
+	if set.MetadataBytes() != 0 {
+		t.Fatal("empty partition has metadata")
+	}
+}
+
+func TestLabelChunkSizesBounded(t *testing.T) {
+	// Property: every chunk except possibly the last holds exactly
+	// chunkBytes/EdgeSize edges; the last holds the remainder.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		edges := make([]graph.Edge, n)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: uint32(rng.Intn(64)), Dst: uint32(rng.Intn(64))}
+		}
+		per := 1 + int(sz)%50
+		set := Label(0, edges, int64(per)*graph.EdgeSize)
+		for i, c := range set.Chunks {
+			if i < len(set.Chunks)-1 && c.NumEdges != per {
+				return false
+			}
+			if c.NumEdges > per || c.NumEdges == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataProportionalToDistinctSources(t *testing.T) {
+	edges := []graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 1}}
+	set := Label(0, edges, 10*graph.EdgeSize)
+	if got := set.MetadataBytes(); got != 16 { // 2 entries * 8 bytes
+		t.Fatalf("metadata = %d, want 16", got)
+	}
+}

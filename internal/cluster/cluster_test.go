@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestNewValidatesNodeCount(t *testing.T) {
+	if _, err := New(0, 1<<20); err == nil {
+		t.Fatal("expected error for 0 nodes")
+	}
+	c, err := New(4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i || n.Mem == nil || n.Disk == nil {
+			t.Fatalf("node %d malformed", i)
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	c, _ := New(8, 1<<20)
+	groups, err := c.Groups(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 4 || len(groups[1]) != 4 {
+		t.Fatalf("bad grouping: %d groups", len(groups))
+	}
+	if _, err := c.Groups(0); err == nil {
+		t.Fatal("expected error for 0 groups")
+	}
+	if _, err := c.Groups(9); err == nil {
+		t.Fatal("expected error for more groups than nodes")
+	}
+}
+
+func TestNetworkMetersBytes(t *testing.T) {
+	n := NewNetwork()
+	ns := n.TransferNS(125e6) // 1 second at full bandwidth, single stream
+	if ns < 9e8 || ns > 11e8 {
+		t.Fatalf("transfer = %dns, want ~1e9", ns)
+	}
+	if n.Bytes() != 125e6 || n.Messages() != 1 {
+		t.Fatalf("meters: %d bytes, %d msgs", n.Bytes(), n.Messages())
+	}
+}
+
+func TestNetworkContention(t *testing.T) {
+	n := NewNetwork()
+	single := n.TransferNS(1e6)
+
+	stop1 := n.StartStream()
+	stop2 := n.StartStream()
+	contended := n.TransferNS(1e6)
+	stop1()
+	stop2()
+	// Two streams: fair share halves bandwidth, plus the interleaving
+	// penalty — more than 2x slower.
+	if contended <= 2*single {
+		t.Fatalf("contended transfer %dns not > 2x single %dns", contended, single)
+	}
+	after := n.TransferNS(1e6)
+	if after != single {
+		t.Fatalf("contention not released: %d vs %d", after, single)
+	}
+}
+
+func TestTotalMemAccounting(t *testing.T) {
+	c, _ := New(2, 1<<20)
+	c.Nodes[0].Mem.ReserveJobData(100)
+	c.Nodes[1].Mem.ReserveJobData(50)
+	if c.TotalMemUsed() != 150 {
+		t.Fatalf("used = %d", c.TotalMemUsed())
+	}
+	if c.TotalMemPeak() != 150 {
+		t.Fatalf("peak = %d", c.TotalMemPeak())
+	}
+}

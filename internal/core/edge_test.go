@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"testing"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+// Edge-case coverage for the controller: degenerate graphs and layouts.
+
+func TestSinglePartitionGraph(t *testing.T) {
+	g := graph.GenerateChain("single", 64)
+	r := newRigWithGraph(t, g, 1, core.DefaultConfig(64<<10))
+	bfs := algorithms.NewBFS(0)
+	if err := r.sys.Run([]*engine.Job{engine.NewJob(1, bfs, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Dist()[63] != 63 {
+		t.Fatalf("dist = %d, want 63", bfs.Dist()[63])
+	}
+}
+
+func TestLayoutWithEmptyPartitions(t *testing.T) {
+	// A layout where most partitions are empty: the controller must skip
+	// them without deadlocking.
+	g := graph.MustNew("sparse", 100, []graph.Edge{{Src: 0, Dst: 99, Weight: 1}})
+	disk := storage.NewDisk()
+	var parts []*core.Partition
+	for i := 0; i < 10; i++ {
+		var edges []graph.Edge
+		if i == 0 {
+			edges = g.Edges
+		}
+		name := "sparse/p" + string(rune('0'+i))
+		disk.Write(name, graph.EncodeEdges(edges))
+		parts = append(parts, &core.Partition{
+			ID: i, SrcLo: i * 10, SrcHi: (i + 1) * 10, DiskName: name, Edges: edges,
+		})
+	}
+	mem := storage.NewMemory(disk, 1<<20)
+	cache, _ := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	sys, err := core.NewSystem(core.NewLayout(g, parts), mem, cache, core.DefaultConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := algorithms.NewBFS(0)
+	if err := sys.Run([]*engine.Job{engine.NewJob(1, bfs, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Dist()[99] != 1 {
+		t.Fatalf("dist[99] = %d, want 1", bfs.Dist()[99])
+	}
+}
+
+func TestJobWithNoActiveWork(t *testing.T) {
+	// A BFS rooted at a vertex with no out-edges terminates after one
+	// no-op iteration without hanging the round barrier.
+	g := graph.MustNew("dead", 4, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}})
+	r := newRigWithGraph(t, g, 1, core.DefaultConfig(64<<10))
+	bfs := algorithms.NewBFS(3) // vertex 3 has no out-edges
+	pr := algorithms.NewPageRank(0.85, 3)
+	pr.Tolerance = 1e-12
+	jobs := []*engine.Job{engine.NewJob(1, bfs, 1), engine.NewJob(2, pr, 2)}
+	if err := r.sys.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Dist()[3] != 0 || bfs.Dist()[0] != algorithms.Unreached {
+		t.Fatalf("dist = %v", bfs.Dist())
+	}
+}
+
+func TestZeroJobsRunReturns(t *testing.T) {
+	r := newRig(t, 100, 500, 2, core.DefaultConfig(64<<10))
+	if err := r.sys.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingDiskBlobFailsCleanly(t *testing.T) {
+	// A layout referencing a blob that was never written must surface an
+	// error through Wait, not hang.
+	g := graph.MustNew("missing", 10, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}})
+	disk := storage.NewDisk() // nothing written
+	parts := []*core.Partition{{ID: 0, SrcLo: 0, SrcHi: 10, DiskName: "nope", Edges: g.Edges}}
+	mem := storage.NewMemory(disk, 1<<20)
+	cache, _ := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	sys, err := core.NewSystem(core.NewLayout(g, parts), mem, cache, core.DefaultConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := algorithms.NewBFS(0)
+	if err := sys.Run([]*engine.Job{engine.NewJob(1, bfs, 1)}); err == nil {
+		t.Fatal("expected missing-blob error")
+	}
+}
+
+func TestChunkViewErrors(t *testing.T) {
+	r := newRig(t, 100, 500, 2, core.DefaultConfig(64<<10))
+	if _, err := r.sys.ChunkView(-1, 999, 0); err == nil {
+		t.Fatal("expected unknown-partition error")
+	}
+	if _, err := r.sys.ChunkView(-1, 0, 999); err == nil {
+		t.Fatal("expected unknown-chunk error")
+	}
+	if _, err := r.sys.UpdateChunk(999, 0, nil); err == nil {
+		t.Fatal("expected update error for unknown partition")
+	}
+	if err := r.sys.MutateChunk(1, 999, 0, func(e []graph.Edge) []graph.Edge { return e }); err == nil {
+		t.Fatal("expected mutate error for unknown partition")
+	}
+}
+
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	g := graph.GenerateChain("cfg", 10)
+	disk := storage.NewDisk()
+	parts := []*core.Partition{{ID: 0, SrcLo: 0, SrcHi: 10, DiskName: "p", Edges: g.Edges}}
+	disk.Write("p", graph.EncodeEdges(g.Edges))
+	mem := storage.NewMemory(disk, 1<<20)
+	cache, _ := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	cfg := core.DefaultConfig(64 << 10)
+	cfg.Reserved = 128 << 10 // reserved > LLC
+	if _, err := core.NewSystem(core.NewLayout(g, parts), mem, cache, cfg); err == nil {
+		t.Fatal("expected Formula-1 config error")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"graphm/internal/graph"
+)
+
+// Edge-level evolving-graph operations (Section 3.3.2 and the paper's
+// third future-work item). MutateChunk/UpdateChunk operate on whole chunks;
+// the helpers here accept plain edge lists and locate the affected chunks
+// themselves, so callers evolve the graph without knowing the chunk layout:
+//
+//	sys.AddEdges(edges)                 // visible to jobs submitted later
+//	sys.RemoveEdges(pred)               // likewise
+//	sys.AddEdgesFor(jobID, edges)       // private mutation for one job
+//
+// Additions are appended to the chunk whose source-vertex range covers the
+// edge's source (the engine's streaming order is preserved: new edges are
+// streamed with their partition). Removals rewrite every chunk containing a
+// matching edge.
+
+// locate returns the partition whose source range covers v, preferring the
+// partition that also already holds edges of v.
+func (s *System) locate(v graph.VertexID) (*Partition, error) {
+	var fallback *Partition
+	for _, p := range s.parts {
+		if int(v) >= p.SrcLo && int(v) < p.SrcHi {
+			if len(p.Edges) > 0 {
+				return p, nil
+			}
+			if fallback == nil {
+				fallback = p
+			}
+		}
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("core: no partition covers vertex %d", v)
+}
+
+// lastChunk returns the index of the partition's final chunk, or an error
+// for an unlabelled/empty partition.
+func (s *System) lastChunk(pid int) (int, error) {
+	set, ok := s.sets[pid]
+	if !ok || set.NumChunks() == 0 {
+		return 0, fmt.Errorf("core: partition %d has no chunks", pid)
+	}
+	return set.NumChunks() - 1, nil
+}
+
+// AddEdges installs new edges as a graph *update*: jobs submitted after the
+// call observe them; running jobs keep their snapshot. It returns the new
+// snapshot version.
+func (s *System) AddEdges(edges []graph.Edge) (int, error) {
+	groups, err := s.groupBySourcePartition(edges)
+	if err != nil {
+		return 0, err
+	}
+	version := s.snaps.currentVersion()
+	for pid, add := range groups {
+		k, err := s.lastChunk(pid)
+		if err != nil {
+			return 0, err
+		}
+		cur, err := s.chunkViewEdges(-1, pid, k)
+		if err != nil {
+			return 0, err
+		}
+		merged := append(append([]graph.Edge(nil), cur...), add...)
+		version, err = s.UpdateChunk(pid, k, merged)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return version, nil
+}
+
+// AddEdgesFor installs new edges as a *mutation* private to jobID.
+func (s *System) AddEdgesFor(jobID int, edges []graph.Edge) error {
+	groups, err := s.groupBySourcePartition(edges)
+	if err != nil {
+		return err
+	}
+	for pid, add := range groups {
+		k, err := s.lastChunk(pid)
+		if err != nil {
+			return err
+		}
+		add := add
+		if err := s.MutateChunk(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
+			return append(cur, add...)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveEdges installs an update deleting every edge matching pred; it
+// returns the new snapshot version and the number of edges removed.
+func (s *System) RemoveEdges(pred func(graph.Edge) bool) (version, removed int, err error) {
+	version = s.snaps.currentVersion()
+	for _, p := range s.parts {
+		set := s.sets[p.ID]
+		for k := 0; k < set.NumChunks(); k++ {
+			cur, err := s.chunkViewEdges(-1, p.ID, k)
+			if err != nil {
+				return 0, 0, err
+			}
+			kept := make([]graph.Edge, 0, len(cur))
+			for _, e := range cur {
+				if pred(e) {
+					removed++
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			if len(kept) == len(cur) {
+				continue
+			}
+			version, err = s.UpdateChunk(p.ID, k, kept)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return version, removed, nil
+}
+
+// RemoveEdgesFor applies the deletion as a job-private mutation.
+func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed int, err error) {
+	for _, p := range s.parts {
+		set := s.sets[p.ID]
+		for k := 0; k < set.NumChunks(); k++ {
+			cur, err := s.chunkViewEdges(jobID, p.ID, k)
+			if err != nil {
+				return 0, err
+			}
+			match := 0
+			for _, e := range cur {
+				if pred(e) {
+					match++
+				}
+			}
+			if match == 0 {
+				continue
+			}
+			removed += match
+			if err := s.MutateChunk(jobID, p.ID, k, func(cur []graph.Edge) []graph.Edge {
+				kept := cur[:0]
+				for _, e := range cur {
+					if !pred(e) {
+						kept = append(kept, e)
+					}
+				}
+				return kept
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return removed, nil
+}
+
+// groupBySourcePartition validates endpoints and buckets edges by the
+// partition covering their source.
+func (s *System) groupBySourcePartition(edges []graph.Edge) (map[int][]graph.Edge, error) {
+	groups := make(map[int][]graph.Edge)
+	for _, e := range edges {
+		if int(e.Src) >= s.g.NumV || int(e.Dst) >= s.g.NumV {
+			return nil, fmt.Errorf("core: edge %d->%d outside vertex range [0,%d)", e.Src, e.Dst, s.g.NumV)
+		}
+		p, err := s.locate(e.Src)
+		if err != nil {
+			return nil, err
+		}
+		groups[p.ID] = append(groups[p.ID], e)
+	}
+	return groups, nil
+}

@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"testing"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+func TestAddEdgesVisibleOnlyToLaterJobs(t *testing.T) {
+	g := graph.GenerateChain("chain", 50)
+	r := newRigWithGraph(t, g, 2, core.DefaultConfig(64<<10))
+
+	before := algorithms.NewBFS(0)
+	if err := r.sys.Run([]*engine.Job{engine.NewJob(1, before, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if before.Dist()[49] != 49 {
+		t.Fatalf("pre-update dist = %d, want 49", before.Dist()[49])
+	}
+
+	if _, err := r.sys.AddEdges([]graph.Edge{{Src: 0, Dst: 49, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	after := algorithms.NewBFS(0)
+	if err := r.sys.Run([]*engine.Job{engine.NewJob(2, after, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if after.Dist()[49] != 1 {
+		t.Fatalf("post-update dist = %d, want 1 (shortcut)", after.Dist()[49])
+	}
+}
+
+func TestAddEdgesRejectsOutOfRange(t *testing.T) {
+	g := graph.GenerateChain("chain", 10)
+	r := newRigWithGraph(t, g, 1, core.DefaultConfig(64<<10))
+	if _, err := r.sys.AddEdges([]graph.Edge{{Src: 0, Dst: 99, Weight: 1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestRemoveEdgesUpdate(t *testing.T) {
+	g := graph.GenerateChain("chain", 20)
+	r := newRigWithGraph(t, g, 2, core.DefaultConfig(64<<10))
+
+	// Cut the chain at 10->11 for future jobs.
+	_, removed, err := r.sys.RemoveEdges(func(e graph.Edge) bool {
+		return e.Src == 10 && e.Dst == 11
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	bfs := algorithms.NewBFS(0)
+	if err := r.sys.Run([]*engine.Job{engine.NewJob(1, bfs, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Dist()[10] != 10 {
+		t.Fatalf("dist[10] = %d, want 10", bfs.Dist()[10])
+	}
+	if bfs.Dist()[11] != algorithms.Unreached {
+		t.Fatalf("dist[11] = %d, want unreached after cut", bfs.Dist()[11])
+	}
+}
+
+func TestRemoveEdgesForIsPrivate(t *testing.T) {
+	g := graph.GenerateChain("chain", 12)
+	r := newRigWithGraph(t, g, 1, core.DefaultConfig(64<<10))
+
+	removed, err := r.sys.RemoveEdgesFor(7, func(e graph.Edge) bool { return e.Src == 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	// Job 7 sees the cut; a fresh job does not.
+	mutBFS := algorithms.NewBFS(0)
+	j7 := engine.NewJob(7, mutBFS, 7)
+	cleanBFS := algorithms.NewBFS(0)
+	j8 := engine.NewJob(8, cleanBFS, 8)
+	r.sys.Submit(j7)
+	r.sys.Submit(j8)
+	if err := r.sys.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if mutBFS.Dist()[6] != algorithms.Unreached {
+		t.Fatalf("mutated job reached 6 at %d", mutBFS.Dist()[6])
+	}
+	if cleanBFS.Dist()[6] != 6 {
+		t.Fatalf("clean job dist[6] = %d, want 6", cleanBFS.Dist()[6])
+	}
+}
+
+func TestAddEdgesForPrivateShortcut(t *testing.T) {
+	g := graph.GenerateChain("chain", 30)
+	r := newRigWithGraph(t, g, 2, core.DefaultConfig(64<<10))
+	if err := r.sys.AddEdgesFor(3, []graph.Edge{{Src: 0, Dst: 29, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	withCut := algorithms.NewBFS(0)
+	without := algorithms.NewBFS(0)
+	j3, j4 := engine.NewJob(3, withCut, 3), engine.NewJob(4, without, 4)
+	r.sys.Submit(j3)
+	r.sys.Submit(j4)
+	if err := r.sys.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if withCut.Dist()[29] != 1 {
+		t.Fatalf("private shortcut not seen: dist = %d", withCut.Dist()[29])
+	}
+	if without.Dist()[29] != 29 {
+		t.Fatalf("shortcut leaked: dist = %d", without.Dist()[29])
+	}
+}
+
+func TestSequentialUpdatesChain(t *testing.T) {
+	// Repeated AddEdges build a version chain; each successive job sees one
+	// more shortcut level.
+	g := graph.GenerateChain("chain", 40)
+	r := newRigWithGraph(t, g, 1, core.DefaultConfig(64<<10))
+	for i := 0; i < 3; i++ {
+		dst := graph.VertexID(39 - i*10)
+		if _, err := r.sys.AddEdges([]graph.Edge{{Src: 0, Dst: dst, Weight: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		bfs := algorithms.NewBFS(0)
+		if err := r.sys.Run([]*engine.Job{engine.NewJob(100+i, bfs, int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if bfs.Dist()[dst] != 1 {
+			t.Fatalf("round %d: dist[%d] = %d, want 1", i, dst, bfs.Dist()[dst])
+		}
+	}
+	if v := r.sys.SnapshotVersion(); v < 3 {
+		t.Fatalf("snapshot version = %d, want >= 3", v)
+	}
+}

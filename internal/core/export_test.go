@@ -1,0 +1,8 @@
+package core
+
+// SharedTE exposes the profiled per-edge access cost T(E) to external tests.
+func (s *System) SharedTE() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharedTE
+}

@@ -1,0 +1,50 @@
+// Package core implements GraphM, the paper's storage runtime for
+// concurrent iterative graph processing (Sections 3 and 4):
+//
+//   - one shared, ref-counted copy of each graph partition in memory
+//     (Algorithm 2, the Sharing() API),
+//   - logical chunking of partitions sized to the LLC (Formula 1,
+//     Algorithm 1, via internal/chunk),
+//   - fine-grained chunk-level synchronization of concurrent jobs with a
+//     run-time profiling phase (Formulas 2–4),
+//   - the partition-loading scheduler of Section 4 (Formula 5), and
+//   - consistent snapshots with copy-on-write chunks for graph mutations
+//     and updates (Section 3.3.2).
+//
+// GraphM is engine-agnostic: any engine substrate exposes its partition
+// layout through the Layout interface and drives the Table 1 API.
+package core
+
+import "graphm/internal/graph"
+
+// Partition is an engine partition as seen by GraphM: a contiguous edge
+// stream with a known source-vertex range (used for active-partition
+// detection) and a disk-resident blob.
+type Partition struct {
+	ID           int
+	SrcLo, SrcHi int
+	DiskName     string
+	Edges        []graph.Edge
+}
+
+// Layout describes an engine's native partitioning of one graph. The engine
+// keeps its own representation (grid, shards, CSR...); GraphM never rewrites
+// it (Section 3.2: chunks are logical labels over the native layout).
+type Layout interface {
+	Graph() *graph.Graph
+	Partitions() []*Partition
+}
+
+// sliceLayout is a trivial Layout over prebuilt partitions, used by tests.
+type sliceLayout struct {
+	g     *graph.Graph
+	parts []*Partition
+}
+
+// NewLayout wraps a graph and explicit partitions as a Layout.
+func NewLayout(g *graph.Graph, parts []*Partition) Layout {
+	return &sliceLayout{g: g, parts: parts}
+}
+
+func (l *sliceLayout) Graph() *graph.Graph      { return l.g }
+func (l *sliceLayout) Partitions() []*Partition { return l.parts }

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/chaos"
+	"graphm/internal/cluster"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/graphchi"
+	"graphm/internal/memsim"
+	"graphm/internal/powergraph"
+	"graphm/internal/storage"
+)
+
+// GraphM must be layout-agnostic: the same jobs over GraphChi shards,
+// PowerGraph fragments and Chaos chunks produce reference-correct results.
+
+func runUnderLayout(t *testing.T, layout core.Layout, mem *storage.Memory, g *graph.Graph) (*algorithms.PageRank, *algorithms.BFS) {
+	t.Helper()
+	cache, err := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(layout, mem, cache, core.DefaultConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := algorithms.NewPageRank(0.85, 5)
+	pr.Tolerance = 1e-12
+	bfs := algorithms.NewBFS(0)
+	jobs := []*engine.Job{engine.NewJob(1, pr, 1), engine.NewJob(2, bfs, 2)}
+	if err := sys.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	return pr, bfs
+}
+
+func checkResults(t *testing.T, g *graph.Graph, pr *algorithms.PageRank, bfs *algorithms.BFS) {
+	t.Helper()
+	wantPR := algorithms.ReferencePageRank(g, 0.85, 5)
+	for v := range wantPR {
+		if math.Abs(pr.Ranks()[v]-wantPR[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, want %g", v, pr.Ranks()[v], wantPR[v])
+		}
+	}
+	wantBFS := algorithms.ReferenceBFS(g, 0)
+	for v := range wantBFS {
+		if bfs.Dist()[v] != wantBFS[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, bfs.Dist()[v], wantBFS[v])
+		}
+	}
+}
+
+func TestGraphMOverGraphChiShards(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("ml", 400, 3000, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	shards, err := graphchi.Build(g, 4, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, bfs := runUnderLayout(t, shards.AsLayout(), storage.NewMemory(disk, 64<<20), g)
+	checkResults(t, g, pr, bfs)
+}
+
+func TestGraphMOverPowerGraphFragments(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("ml", 400, 3000, 62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(4, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := powergraph.Build(g, cl.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, bfs := runUnderLayout(t, p.AsLayout(), p.SharedMemory(64<<20), g)
+	checkResults(t, g, pr, bfs)
+}
+
+func TestGraphMOverChaosChunks(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("ml", 400, 3000, 63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(4, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := chaos.Build(g, cl.Nodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, bfs := runUnderLayout(t, s.AsLayout(), s.SharedMemory(64<<20), g)
+	checkResults(t, g, pr, bfs)
+}
+
+func TestGraphMLoadHookCharged(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("lh", 200, 1500, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(2, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := chaos.Build(g, cl.Nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := s.SharedMemory(64 << 20)
+	cache, _ := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	cfg := core.DefaultConfig(64 << 10)
+	cfg.LoadHook = s.LoadHook(cl.Net)
+	sys, err := core.NewSystem(s.AsLayout(), mem, cache, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := algorithms.NewBFS(0)
+	j := engine.NewJob(1, bfs, 1)
+	if err := sys.Run([]*engine.Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Net.Bytes() == 0 {
+		t.Fatal("LoadHook never metered the network")
+	}
+	if j.Met.SimIONS == 0 {
+		t.Fatal("network time not charged to the job")
+	}
+}

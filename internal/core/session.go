@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// Session is the engine-facing form of the Table 1 API: an engine that owns
+// its own StreamEdges loop (Figure 6(b)) drives GraphM explicitly instead
+// of letting System.Submit run the built-in driver. The protocol is:
+//
+//	sess, _ := sys.OpenSession(job)
+//	for sess.BeginIteration() {        // GetActiveVertices + round join
+//	    for {
+//	        sp := sess.Sharing()       // Algorithm 2: blocks until a
+//	        if sp == nil {             // needed partition is loaded
+//	            break
+//	        }
+//	        for sp.Next() {            // Start(): chunk-lockstep window
+//	            sp.Process()           // or Edges() + custom streaming
+//	        }
+//	        sp.Barrier()               // Barrier(): partition complete
+//	    }
+//	    sess.EndIteration()
+//	}
+//	sess.Close()
+//
+// Sessions and Submit-driven jobs can share one System; the controller does
+// not distinguish them.
+type Session struct {
+	s    *System
+	js   *jobState
+	iter int
+
+	inIteration bool
+	closed      bool
+}
+
+// OpenSession registers job with the sharing controller and returns its
+// session. The job joins rounds at its first BeginIteration. The caller
+// must eventually Close the session even on error paths; System.Wait blocks
+// until all sessions are closed.
+func (s *System) OpenSession(j *engine.Job) (*Session, error) {
+	j.Bind(s.g)
+	state := j.Prog.StateBytes()
+	j.StateBase = s.mem.AllocAddr(state)
+	s.mem.ReserveJobData(state)
+
+	js := &jobState{job: j, born: s.snaps.currentVersion()}
+	s.mu.Lock()
+	if _, dup := s.jobs[j.ID]; dup {
+		s.mu.Unlock()
+		s.mem.ReserveJobData(-state)
+		return nil, fmt.Errorf("core: duplicate job ID %d", j.ID)
+	}
+	s.jobs[j.ID] = js
+	s.live++
+	s.mu.Unlock()
+	s.wg.Add(1)
+	return &Session{s: s, js: js}, nil
+}
+
+// BeginIteration runs the program's BeforeIteration, publishes the job's
+// active partitions (GetActiveVertices) and joins the next round. It
+// returns false when the job has converged or the system failed.
+func (sess *Session) BeginIteration() bool {
+	if sess.closed {
+		return false
+	}
+	if !sess.js.job.Prog.BeforeIteration(sess.iter) || sess.s.Err() != nil {
+		return false
+	}
+	sess.s.beginIteration(sess.js)
+	sess.inIteration = true
+	return true
+}
+
+// Sharing returns the next shared partition this job must process in the
+// current round, suspending the caller until it is available; nil means the
+// job's iteration is complete.
+func (sess *Session) Sharing() *SharedPartition {
+	if sess.closed || !sess.inIteration {
+		return nil
+	}
+	cp := sess.s.sharing(sess.js)
+	if cp == nil {
+		return nil
+	}
+	return &SharedPartition{sess: sess, cp: cp, k: -1}
+}
+
+// EndIteration commits the iteration (AfterIteration + bookkeeping).
+func (sess *Session) EndIteration() {
+	if sess.closed || !sess.inIteration {
+		return
+	}
+	sess.js.job.Prog.AfterIteration(sess.iter)
+	sess.js.job.Met.Iterations++
+	sess.iter++
+	sess.js.job.Iter = sess.iter
+	sess.inIteration = false
+}
+
+// Close deregisters the job. Idempotent.
+func (sess *Session) Close() {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	sess.s.leave(sess.js)
+	sess.s.mem.ReserveJobData(-sess.js.job.Prog.StateBytes())
+	sess.js.job.Done = true
+	sess.s.wg.Done()
+}
+
+// SharedPartition is one partition handed to one job by the sharing
+// controller, exposing its chunks in the synchronized streaming order.
+type SharedPartition struct {
+	sess *Session
+	cp   *curPartition
+	k    int
+	done bool
+}
+
+// ID returns the engine partition ID.
+func (sp *SharedPartition) ID() int { return sp.cp.part.ID }
+
+// NumChunks returns the number of logical chunks in the partition.
+func (sp *SharedPartition) NumChunks() int { return len(sp.cp.set.Chunks) }
+
+// Next advances to the next chunk, honouring the fine-grained
+// synchronization barriers (a chunk opens for this job once the elected
+// leader has pulled it into the LLC). It returns false after the last
+// chunk or on system failure.
+func (sp *SharedPartition) Next() bool {
+	if sp.done {
+		return false
+	}
+	s := sp.sess.s
+	if s.cfg.FineSync {
+		if sp.k >= 0 {
+			s.chunkDone(sp.sess.js, sp.cp)
+		}
+		sp.k++
+		if sp.k >= len(sp.cp.set.Chunks) {
+			sp.done = true
+			return false
+		}
+		if !s.awaitChunk(sp.sess.js, sp.cp, sp.k) {
+			sp.done = true
+			return false
+		}
+		return true
+	}
+	sp.k++
+	if sp.k >= len(sp.cp.set.Chunks) {
+		sp.done = true
+		return false
+	}
+	return true
+}
+
+// Edges returns the current chunk exactly as this job observes it through
+// its snapshot (private mutations / versioned updates applied), together
+// with the chunk's simulated base address and the index of its first edge
+// within that address region — the inputs engine.StreamEdges needs.
+func (sp *SharedPartition) Edges() (edges []graph.Edge, baseAddr uint64, first int) {
+	s := sp.sess.s
+	t := sp.cp.set.Chunks[sp.k]
+	edges = sp.cp.part.Edges[t.FirstEdge : t.FirstEdge+t.NumEdges]
+	baseAddr = sp.cp.buf.BaseAddr
+	first = t.FirstEdge
+	if cpy := s.snaps.resolve(sp.sess.js.job.ID, sp.sess.js.born, sp.cp.part.ID, sp.k); cpy != nil {
+		edges, baseAddr, first = cpy.edges, cpy.addr, 0
+	}
+	return edges, baseAddr, first
+}
+
+// Process streams the current chunk through the job's program with the
+// system's LLC instrumentation, feeding the profiling phase.
+func (sp *SharedPartition) Process() {
+	s := sp.sess.s
+	st := s.streamChunk(sp.sess.js, sp.cp, sp.k)
+	s.recordSample(sp.sess.js, st)
+}
+
+// Report feeds externally measured streaming stats to the profiler, for
+// engines that consumed Edges() directly instead of calling Process.
+func (sp *SharedPartition) Report(st engine.StreamStats) {
+	sp.sess.s.recordSample(sp.sess.js, st)
+}
+
+// Barrier marks the partition complete for this job (Table 1's Barrier()),
+// letting the controller advance once every attending job arrives. It must
+// be called exactly once, after Next has returned false (or to abandon the
+// remaining chunks only when the system has failed).
+func (sp *SharedPartition) Barrier() {
+	// Drain remaining chunk barriers if the caller bailed early on error.
+	if s := sp.sess.s; s.cfg.FineSync && !sp.done && s.Err() != nil {
+		sp.done = true
+	}
+	sp.sess.s.partitionBarrier(sp.sess.js, sp.cp)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"graphm/internal/graph"
+)
+
+func alloc64(size int64) uint64 { return 0 }
+
+func edges(pairs ...uint32) []graph.Edge {
+	out := make([]graph.Edge, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, graph.Edge{Src: pairs[i], Dst: pairs[i+1], Weight: 1})
+	}
+	return out
+}
+
+func TestSnapshotMutationVisibleOnlyToOwner(t *testing.T) {
+	st := newSnapshotStore()
+	st.mutate(7, 0, 0, edges(1, 2), alloc64)
+	if cp := st.resolve(7, 0, 0, 0); cp == nil || len(cp.edges) != 1 {
+		t.Fatal("owner does not see its mutation")
+	}
+	if cp := st.resolve(8, 0, 0, 0); cp != nil {
+		t.Fatal("other job sees a private mutation")
+	}
+}
+
+func TestSnapshotUpdateVisibleOnlyToLaterJobs(t *testing.T) {
+	st := newSnapshotStore()
+	bornBefore := st.currentVersion()
+	v := st.update(0, 3, edges(1, 2, 2, 3), alloc64)
+	bornAfter := st.currentVersion()
+	if bornAfter != v {
+		t.Fatalf("current version %d, want %d", bornAfter, v)
+	}
+	if cp := st.resolve(1, bornBefore, 0, 3); cp != nil {
+		t.Fatal("pre-update job sees the update")
+	}
+	if cp := st.resolve(2, bornAfter, 0, 3); cp == nil || len(cp.edges) != 2 {
+		t.Fatal("post-update job does not see the update")
+	}
+}
+
+func TestSnapshotVersionChain(t *testing.T) {
+	st := newSnapshotStore()
+	v1 := st.update(0, 0, edges(1, 2), alloc64)
+	v2 := st.update(0, 0, edges(1, 2, 3, 4), alloc64)
+	v3 := st.update(0, 0, edges(1, 2, 3, 4, 5, 6), alloc64)
+	if cp := st.resolve(1, v1, 0, 0); len(cp.edges) != 1 {
+		t.Fatalf("job born at v1 sees %d edges, want 1", len(cp.edges))
+	}
+	if cp := st.resolve(2, v2, 0, 0); len(cp.edges) != 2 {
+		t.Fatalf("job born at v2 sees %d edges, want 2", len(cp.edges))
+	}
+	if cp := st.resolve(3, v3, 0, 0); len(cp.edges) != 3 {
+		t.Fatalf("job born at v3 sees %d edges, want 3", len(cp.edges))
+	}
+}
+
+func TestSnapshotMutationShadowsUpdate(t *testing.T) {
+	st := newSnapshotStore()
+	v := st.update(0, 0, edges(1, 2, 3, 4), alloc64)
+	st.mutate(5, 0, 0, edges(9, 9), alloc64)
+	cp := st.resolve(5, v, 0, 0)
+	if cp == nil || len(cp.edges) != 1 || cp.edges[0].Src != 9 {
+		t.Fatal("private mutation must shadow global updates for its owner")
+	}
+}
+
+func TestSnapshotReleaseDropsOverrides(t *testing.T) {
+	st := newSnapshotStore()
+	st.mutate(1, 0, 0, edges(1, 2), alloc64)
+	st.mutate(1, 0, 1, edges(3, 4), alloc64)
+	if st.overrideCount() != 2 {
+		t.Fatalf("overrides = %d, want 2", st.overrideCount())
+	}
+	st.release(1)
+	if st.overrideCount() != 0 {
+		t.Fatal("release did not drop overrides")
+	}
+	if cp := st.resolve(1, 0, 0, 0); cp != nil {
+		t.Fatal("released override still resolvable")
+	}
+}
+
+func TestSnapshotPrune(t *testing.T) {
+	st := newSnapshotStore()
+	v1 := st.update(0, 0, edges(1, 2), alloc64)
+	v2 := st.update(0, 0, edges(3, 4), alloc64)
+	st.pruneBefore(v2)
+	// v2 must survive; v1 may be pruned (no one can observe it).
+	if cp := st.resolve(1, v2, 0, 0); cp == nil || cp.edges[0].Src != 3 {
+		t.Fatal("prune removed an observable version")
+	}
+	_ = v1
+}
+
+func TestRelabelRebuildsTable(t *testing.T) {
+	tbl := relabel(edges(1, 2, 1, 3, 2, 4))
+	if tbl.OutCount(1) != 2 || tbl.OutCount(2) != 1 {
+		t.Fatalf("relabel counts wrong: N+(1)=%d N+(2)=%d", tbl.OutCount(1), tbl.OutCount(2))
+	}
+	empty := relabel(nil)
+	if empty.TotalEdges() != 0 {
+		t.Fatal("relabel(nil) not empty")
+	}
+}

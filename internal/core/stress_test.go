@@ -1,0 +1,196 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+// TestManyJobsManyRounds stresses the round/chunk barriers with a larger
+// mixed workload than the basic tests: 12 jobs of four kinds over a skewed
+// graph, small LLC (many chunks), small partitions (many rounds).
+func TestManyJobsManyRounds(t *testing.T) {
+	cfg := core.DefaultConfig(32 << 10)
+	cfg.Cores = 4
+	r := newRig(t, 800, 9000, 6, cfg)
+
+	var jobs []*engine.Job
+	var progs []engine.Program
+	for i := 0; i < 12; i++ {
+		var p engine.Program
+		switch i % 4 {
+		case 0:
+			pr := algorithms.NewPageRank(0.5+float64(i)*0.02, 5)
+			pr.Tolerance = 1e-12
+			p = pr
+		case 1:
+			p = algorithms.NewWCC(1000)
+		case 2:
+			p = algorithms.NewBFS(graph.VertexID(i))
+		default:
+			p = algorithms.NewSSSP(graph.VertexID(i))
+		}
+		progs = append(progs, p)
+		jobs = append(jobs, engine.NewJob(i+1, p, int64(i)))
+	}
+	if err := r.sys.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if !j.Done {
+			t.Fatalf("job %d not done", i)
+		}
+	}
+	// Spot-check correctness of one of each kind.
+	pr := progs[0].(*algorithms.PageRank)
+	wantPR := algorithms.ReferencePageRank(r.g, pr.Damping, 5)
+	for v := range wantPR {
+		if diff := pr.Ranks()[v] - wantPR[v]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("pagerank diverged at %d", v)
+		}
+	}
+	bfs := progs[2].(*algorithms.BFS)
+	wantBFS := algorithms.ReferenceBFS(r.g, bfs.Root)
+	for v := range wantBFS {
+		if bfs.Dist()[v] != wantBFS[v] {
+			t.Fatalf("bfs diverged at %d", v)
+		}
+	}
+}
+
+// TestPropertyConcurrentEqualsSolo: for random graphs and random job mixes,
+// every program computes the same result under GraphM concurrency as when
+// run alone through a plain streaming loop. This is the system's core
+// correctness invariant (sharing must be semantically invisible).
+func TestPropertyConcurrentEqualsSolo(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numV := 50 + rng.Intn(200)
+		numE := numV * (2 + rng.Intn(6))
+		g, err := graph.GenerateRMAT(graph.DefaultRMAT("q", numV, numE, seed))
+		if err != nil {
+			return false
+		}
+
+		// Solo references.
+		soloBFS := algorithms.NewBFS(graph.VertexID(rng.Intn(numV)))
+		soloSSSP := algorithms.NewSSSP(graph.VertexID(rng.Intn(numV)))
+		runSolo := func(p engine.Program) {
+			p.Reset(g, rand.New(rand.NewSource(1)))
+			for iter := 0; p.BeforeIteration(iter); iter++ {
+				for _, e := range g.Edges {
+					if p.Active().Has(int(e.Src)) {
+						p.ProcessEdge(e)
+					}
+				}
+				p.AfterIteration(iter)
+			}
+		}
+		runSolo(soloBFS)
+		runSolo(soloSSSP)
+
+		// Concurrent under GraphM.
+		cfg := core.DefaultConfig(32 << 10)
+		cfg.Cores = 4
+		rig := newRigWithGraph(t, g, 3, cfg)
+		bfs := algorithms.NewBFS(soloBFS.Root)
+		sssp := algorithms.NewSSSP(soloSSSP.Root)
+		jobs := []*engine.Job{engine.NewJob(1, bfs, 1), engine.NewJob(2, sssp, 2)}
+		if err := rig.sys.Run(jobs); err != nil {
+			return false
+		}
+		for v := range soloBFS.Dist() {
+			if bfs.Dist()[v] != soloBFS.Dist()[v] {
+				return false
+			}
+		}
+		for v := range soloSSSP.Dist() {
+			if sssp.Dist()[v] != soloSSSP.Dist()[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedRunsDeterministicResults: running the same workload twice
+// (fresh systems) yields identical job outputs despite nondeterministic
+// goroutine interleavings — GraphM's synchronization must not leak
+// scheduling into results.
+func TestRepeatedRunsDeterministicResults(t *testing.T) {
+	run := func() []float64 {
+		cfg := core.DefaultConfig(64 << 10)
+		r := newRig(t, 400, 3000, 4, cfg)
+		pr := algorithms.NewPageRank(0.8, 6)
+		pr.Tolerance = 1e-12
+		wcc := algorithms.NewWCC(1000)
+		bfs := algorithms.NewBFS(2)
+		jobs := []*engine.Job{
+			engine.NewJob(1, pr, 1), engine.NewJob(2, wcc, 2), engine.NewJob(3, bfs, 3),
+		}
+		if err := r.sys.Run(jobs); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), pr.Ranks()...)
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic rank at %d: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+// TestConcurrentMutationsIsolated: several jobs mutate the same chunk
+// concurrently; each sees only its own mutation.
+func TestConcurrentMutationsIsolated(t *testing.T) {
+	cfg := core.DefaultConfig(64 << 10)
+	r := newRig(t, 300, 2000, 2, cfg)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			err := r.sys.MutateChunk(id, 0, 0, func(edges []graph.Edge) []graph.Edge {
+				// Each job appends a unique marker edge.
+				return append(edges, graph.Edge{Src: 0, Dst: graph.VertexID(id), Weight: 1})
+			})
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := r.sys.ChunkView(-1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 8; id++ {
+		view, err := r.sys.ChunkView(id, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(view) != len(base)+1 {
+			t.Fatalf("job %d view has %d edges, want %d", id, len(view), len(base)+1)
+		}
+		marker := view[len(view)-1]
+		if int(marker.Dst) != id {
+			t.Fatalf("job %d sees marker %d", id, marker.Dst)
+		}
+	}
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"graphm/internal/chunk"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+// Config tunes a GraphM instance.
+type Config struct {
+	// Cores bounds the number of chunks being streamed simultaneously
+	// (N of Formula 1). Zero means GOMAXPROCS-unbounded.
+	Cores int
+	// LLCBytes is C_LLC of Formula (1) — the simulated LLC capacity.
+	LLCBytes int64
+	// Reserved is r of Formula (1).
+	Reserved int64
+	// VertexPay is U_v — per-vertex job-specific bytes.
+	VertexPay int64
+	// FineSync enables the chunk-level synchronization of Section 3.4;
+	// disabling it still shares buffers but lets jobs stream a partition
+	// independently (the ablation of the Share-only configuration).
+	FineSync bool
+	// Scheduler enables the Section 4 loading-order strategy (Formula 5);
+	// disabling it reproduces GridGraph-M-without of Figure 18.
+	Scheduler bool
+	// Cost prices counted work for the simulated-time model.
+	Cost engine.CostModel
+	// LoadHook, when set, is called whenever a partition is loaded from
+	// disk into the shared buffer and returns extra simulated access
+	// nanoseconds charged to each attending job. Distributed substrates use
+	// it to price network streaming (Chaos) once per shared load.
+	LoadHook func(diskBytes, attendees int) uint64
+}
+
+// DefaultConfig returns the configuration used throughout the benchmarks.
+func DefaultConfig(llcBytes int64) Config {
+	return Config{
+		Cores:     4,
+		LLCBytes:  llcBytes,
+		Reserved:  llcBytes / 8,
+		VertexPay: 8,
+		FineSync:  true,
+		Scheduler: true,
+		Cost:      engine.DefaultCostModel(),
+	}
+}
+
+// Stats aggregates system-wide counters exposed for the evaluation harness.
+type Stats struct {
+	ChunkBytes    int64
+	NumChunks     int
+	Rounds        int
+	Suspensions   uint64 // jobs suspended waiting for a partition they need
+	Resumes       uint64
+	SharedLoads   uint64 // partition loads served to more than one job
+	MetadataBytes int64  // chunk table overhead (Table 3 discussion)
+}
+
+// System is one GraphM instance bound to an engine layout. It is the
+// "GraphM Architecture" box of Figure 5: graph preprocessor (NewSystem),
+// graph sharing controller (sharing/advancePartition), and synchronization
+// manager (awaitChunk/chunkDone with the profiling phase).
+type System struct {
+	cfg    Config
+	layout Layout
+	g      *graph.Graph
+	mem    *storage.Memory
+	cache  *memsim.Cache
+	cost   engine.CostModel
+
+	parts    []*Partition
+	partByID map[int]*Partition
+	sets     map[int]*chunk.Set
+
+	snaps *snapshotStore
+	sem   chan struct{}
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	err  error
+
+	jobs       map[int]*jobState
+	live       int
+	readyCount int
+	round      int
+
+	roundActive bool
+	order       []int
+	pos         int
+	cur         *curPartition
+
+	sharedTE float64 // T(E), profiled once per graph (Section 3.4.2)
+
+	stats Stats
+	wg    sync.WaitGroup
+}
+
+// jobState is the controller's view of one running job.
+type jobState struct {
+	job  *engine.Job
+	born int // snapshot version at submission (Section 3.3.2)
+
+	ready bool
+	// inRound marks that the job participates in the round in flight; a job
+	// that finished its iteration early (and may already have republished
+	// next-iteration active partitions at the barrier) must not be picked up
+	// as an attendee of the current round's remaining partitions.
+	inRound   bool
+	active    map[int]bool // partition IDs active this round
+	processed map[int]bool // partitions completed this round
+
+	prof      profiler
+	curSample profSample
+}
+
+// curPartition is the partition currently being streamed by the sharing
+// controller, with the chunk-barrier state of the synchronization manager.
+type curPartition struct {
+	part    *Partition
+	set     *chunk.Set
+	buf     *storage.Buffer
+	attend  []*jobState
+	pending map[int]bool // jobs that have not yet picked the partition up
+
+	remaining  int // jobs that have not finished the partition
+	chunkIdx   int
+	leaderID   int
+	leaderDone bool
+	doneCount  int
+}
+
+// NewSystem is GraphM's Init(): it sizes chunks with Formula (1) and labels
+// every partition with Algorithm 1. The chunk tables are metadata only; the
+// engine's native partition blobs are untouched.
+func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Config) (*System, error) {
+	g := layout.Graph()
+	if cfg.Cost == (engine.CostModel{}) {
+		cfg.Cost = engine.DefaultCostModel()
+	}
+	if cfg.VertexPay <= 0 {
+		cfg.VertexPay = 8
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 4
+	}
+	sc, err := chunk.ChunkSize(chunk.SizeParams{
+		NumCores:  cores,
+		LLCBytes:  cfg.LLCBytes,
+		GraphSize: g.SizeBytes(),
+		NumV:      int64(g.NumV),
+		VertexPay: cfg.VertexPay,
+		Reserved:  cfg.Reserved,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:      cfg,
+		layout:   layout,
+		g:        g,
+		mem:      mem,
+		cache:    cache,
+		cost:     cfg.Cost,
+		parts:    layout.Partitions(),
+		partByID: make(map[int]*Partition),
+		sets:     make(map[int]*chunk.Set),
+		snaps:    newSnapshotStore(),
+		jobs:     make(map[int]*jobState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.Cores > 0 {
+		s.sem = make(chan struct{}, cfg.Cores)
+	}
+	s.stats.ChunkBytes = sc
+	for _, p := range s.parts {
+		set := chunk.Label(p.ID, p.Edges, sc)
+		s.partByID[p.ID] = p
+		s.sets[p.ID] = set
+		s.stats.NumChunks += set.NumChunks()
+		s.stats.MetadataBytes += set.MetadataBytes()
+	}
+	return s, nil
+}
+
+// StatsSnapshot returns a copy of the system counters.
+func (s *System) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Err returns the first failure observed by the controller, if any.
+func (s *System) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Submit registers and starts a job under GraphM's built-in driver.
+// Registration is synchronous (duplicate job IDs among live jobs are
+// rejected immediately); the job joins the sharing pool at the next round
+// boundary, as newly arrived jobs wait for their active graph data to be
+// loaded (Figure 5, steps 1-2). Engines with their own streaming loop use
+// OpenSession instead.
+func (s *System) Submit(j *engine.Job) {
+	sess, err := s.OpenSession(j)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	go func() {
+		defer sess.Close()
+		// The StreamEdges loop of Figure 6(b), over the session API.
+		for sess.BeginIteration() {
+			for {
+				sp := sess.Sharing()
+				if sp == nil {
+					break
+				}
+				for sp.Next() {
+					sp.Process()
+				}
+				sp.Barrier()
+			}
+			sess.EndIteration()
+		}
+	}()
+}
+
+// Run submits jobs and waits for all of them.
+func (s *System) Run(jobs []*engine.Job) error {
+	for _, j := range jobs {
+		s.Submit(j)
+	}
+	return s.Wait()
+}
+
+// Wait blocks until every submitted job has finished.
+func (s *System) Wait() error {
+	s.wg.Wait()
+	return s.Err()
+}
+
+// beginIteration implements GetActiveVertices() plus the round barrier: the
+// job publishes which partitions it needs (the global table of Section
+// 3.3.1) and waits for the controller to start a round that includes it.
+func (s *System) beginIteration(js *jobState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js.active = make(map[int]bool)
+	act := js.job.Prog.Active()
+	for _, p := range s.parts {
+		if len(p.Edges) == 0 {
+			continue
+		}
+		if act.AnyInRange(p.SrcLo, p.SrcHi) {
+			js.active[p.ID] = true
+		}
+	}
+	js.processed = make(map[int]bool)
+	js.ready = true
+	s.readyCount++
+	waitRound := s.round
+	s.maybeStartRoundLocked()
+	for s.err == nil && s.round == waitRound {
+		s.cond.Wait()
+	}
+}
+
+// maybeStartRoundLocked starts a new round when every live job is waiting at
+// the barrier and no round is in flight.
+func (s *System) maybeStartRoundLocked() {
+	if s.roundActive || s.live == 0 || s.readyCount < s.live {
+		return
+	}
+	s.startRoundLocked()
+}
+
+// startRoundLocked builds the global table (partition -> attending jobs),
+// orders it with the Section 4 scheduler, and opens the first partition.
+func (s *System) startRoundLocked() {
+	s.round++
+	s.readyCount = 0
+	s.stats.Rounds++
+	attend := make(map[int][]int)
+	jobNP := make(map[int]int)
+	for id, js := range s.jobs {
+		if !js.ready {
+			continue
+		}
+		js.ready = false
+		js.inRound = true
+		jobNP[id] = len(js.active)
+		for pid := range js.active {
+			attend[pid] = append(attend[pid], id)
+		}
+	}
+	s.order = orderPartitions(attend, jobNP, s.cfg.Scheduler)
+	s.pos = -1
+	s.roundActive = true
+	s.advancePartitionLocked()
+	s.cond.Broadcast()
+}
+
+// advancePartitionLocked releases the current shared buffer and opens the
+// next partition in the round's order that still has attending jobs; when
+// the order is exhausted the round ends.
+func (s *System) advancePartitionLocked() {
+	if s.cur != nil {
+		s.cur.buf.Release()
+		s.cur = nil
+	}
+	for {
+		s.pos++
+		if s.pos >= len(s.order) {
+			s.roundActive = false
+			s.cond.Broadcast()
+			return
+		}
+		pid := s.order[s.pos]
+		var att []*jobState
+		for _, js := range s.jobs {
+			if js.inRound && js.active[pid] && !js.processed[pid] {
+				att = append(att, js)
+			}
+		}
+		if len(att) == 0 {
+			continue
+		}
+		part := s.partByID[pid]
+		// Algorithm 2, lines 8–13: one shared buffer per partition.
+		buf, io, err := s.mem.Load(part.DiskName, part.DiskName)
+		if err != nil {
+			s.failLocked(fmt.Errorf("core: loading partition %d: %w", pid, err))
+			return
+		}
+		if io != storage.IONone {
+			// The single disk transfer is amortized across attending jobs.
+			share := s.cost.DiskNS(uint64(len(buf.Data))) / uint64(len(att))
+			if s.cfg.LoadHook != nil {
+				share += s.cfg.LoadHook(len(buf.Data), len(att))
+			}
+			for _, js := range att {
+				js.job.Met.SimIONS += share
+			}
+		}
+		if len(att) > 1 {
+			s.stats.SharedLoads++
+		}
+		cp := &curPartition{
+			part:      part,
+			set:       s.sets[pid],
+			buf:       buf,
+			attend:    att,
+			pending:   make(map[int]bool, len(att)),
+			remaining: len(att),
+		}
+		for _, js := range att {
+			cp.pending[js.job.ID] = true
+			js.job.Met.PartitionLoads++
+		}
+		s.electLeaderLocked(cp)
+		s.cur = cp
+		s.cond.Broadcast()
+		return
+	}
+}
+
+// sharing is the Sharing() API of Table 1 / Algorithm 2 from the job's side:
+// it blocks (suspends the job) until the controller opens a partition the
+// job needs, and returns nil once the job has no further partitions this
+// round.
+func (s *System) sharing(js *jobState) *curPartition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	suspended := false
+	for {
+		if s.err != nil {
+			js.inRound = false
+			return nil
+		}
+		if len(js.processed) >= len(js.active) {
+			js.inRound = false
+			return nil // this job's iteration is complete
+		}
+		if !s.roundActive {
+			// Round ended while the job still had unprocessed active
+			// partitions: can only happen if those partitions had no edges
+			// or the round order skipped them; treat as complete.
+			js.inRound = false
+			return nil
+		}
+		if s.cur != nil && s.cur.pending[js.job.ID] {
+			delete(s.cur.pending, js.job.ID)
+			if suspended {
+				s.stats.Resumes++
+			}
+			js.curSample = profSample{}
+			return s.cur
+		}
+		if !suspended {
+			suspended = true
+			s.stats.Suspensions++
+		}
+		s.cond.Wait()
+	}
+}
+
+// awaitChunk blocks until chunk k is open for this job: either the job is
+// the chunk's leader, or the leader has filled the LLC. Returns false if the
+// system failed.
+func (s *System) awaitChunk(js *jobState, cp *curPartition, k int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.err == nil && !(cp.chunkIdx == k && (cp.leaderID == js.job.ID || cp.leaderDone)) {
+		s.cond.Wait()
+	}
+	return s.err == nil
+}
+
+// chunkDone is the per-chunk barrier: the last attending job to finish chunk
+// k advances the partition's chunk cursor and re-elects a leader.
+func (s *System) chunkDone(js *jobState, cp *curPartition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cp.leaderID == js.job.ID {
+		cp.leaderDone = true
+	}
+	cp.doneCount++
+	if cp.doneCount == len(cp.attend) {
+		cp.doneCount = 0
+		cp.chunkIdx++
+		cp.leaderDone = false
+		s.electLeaderLocked(cp)
+	}
+	s.cond.Broadcast()
+}
+
+// electLeaderLocked picks the attending job with the highest Formula (4)
+// lead time for the upcoming chunk; unprofiled jobs use optimistic defaults,
+// matching the paper where new jobs are profiled on their first partitions.
+func (s *System) electLeaderLocked(cp *curPartition) {
+	if cp.chunkIdx >= len(cp.set.Chunks) {
+		return
+	}
+	t := cp.set.Chunks[cp.chunkIdx]
+	best := -1.0
+	for _, js := range cp.attend {
+		tF, tE := js.prof.tF, js.prof.tE
+		if !js.prof.profiled {
+			tF, tE = s.cost.WorkNS*js.job.Prog.EdgeCost(), s.cost.ScanNS
+		}
+		lt := chunkLeadTime(tF, tE, t, js.job.Prog.Active())
+		if lt > best {
+			best = lt
+			cp.leaderID = js.job.ID
+		}
+	}
+}
+
+// streamChunk streams one chunk for one job, resolving the job's snapshot
+// view (private mutations / versioned updates) before touching the LLC.
+func (s *System) streamChunk(js *jobState, cp *curPartition, k int) engine.StreamStats {
+	t := cp.set.Chunks[k]
+	edges := cp.part.Edges[t.FirstEdge : t.FirstEdge+t.NumEdges]
+	base := cp.buf.BaseAddr
+	first := t.FirstEdge
+	if cpy := s.snaps.resolve(js.job.ID, js.born, cp.part.ID, k); cpy != nil {
+		edges, base, first = cpy.edges, cpy.addr, 0
+	}
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	return engine.StreamEdges(js.job, edges, base, first, s.cache, s.cost)
+}
+
+// recordSample accumulates Formula (2) observations for the profiler.
+func (s *System) recordSample(js *jobState, st engine.StreamStats) {
+	js.curSample.processed += float64(st.Processed)
+	js.curSample.scanned += float64(st.Scanned)
+	js.curSample.elapsedNS += float64(st.Elapsed.Nanoseconds())
+}
+
+// partitionBarrier is the Barrier() API of Table 1: the job declares the
+// partition finished; the last job out advances the controller. The
+// profiling phase consumes the partition's sample here (Section 3.4.2: the
+// first two processed partitions of a new job).
+func (s *System) partitionBarrier(js *jobState, cp *curPartition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js.processed[cp.part.ID] = true
+	if !js.prof.profiled {
+		js.prof.observe(js.curSample, s.sharedTE)
+		if js.prof.profiled && s.sharedTE == 0 && js.prof.tE > 0 {
+			// T(E) is a property of the graph/machine: profiled once,
+			// shared with later jobs (Section 3.4.2).
+			s.sharedTE = js.prof.tE
+		}
+	}
+	cp.remaining--
+	if cp.remaining == 0 && s.cur == cp {
+		s.advancePartitionLocked()
+	}
+	s.cond.Broadcast()
+}
+
+// leave deregisters a finished job, releases its snapshot overrides, and
+// lets the round barrier re-evaluate.
+func (s *System) leave(js *jobState) {
+	s.snaps.release(js.job.ID)
+	s.mu.Lock()
+	delete(s.jobs, js.job.ID)
+	s.live--
+	// Compute the oldest snapshot version any live job can still observe.
+	minBorn := s.snaps.currentVersion()
+	for _, other := range s.jobs {
+		if other.born < minBorn {
+			minBorn = other.born
+		}
+	}
+	s.maybeStartRoundLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.snaps.pruneBefore(minBorn)
+}
+
+func (s *System) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLocked(err)
+}
+
+func (s *System) failLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.roundActive = false
+	s.cond.Broadcast()
+}

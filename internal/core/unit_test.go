@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"graphm/internal/chunk"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+)
+
+func TestOrderPartitionsFormula5(t *testing.T) {
+	// Job 1 has one active partition (P2): Pri(P2) >= 1/1 * |J|.
+	// Job 2 and 3 have three active partitions each.
+	attend := map[int][]int{
+		0: {2, 3},    // N=2, minNP=3 -> pri 2/3
+		1: {2},       // N=1, minNP=3 -> pri 1/3
+		2: {1, 2, 3}, // N=3, minNP=1 -> pri 3
+	}
+	jobNP := map[int]int{1: 1, 2: 3, 3: 3}
+	order := orderPartitions(attend, jobNP, true)
+	if len(order) != 3 {
+		t.Fatalf("order has %d entries", len(order))
+	}
+	if order[0] != 2 {
+		t.Fatalf("highest-priority partition = %d, want 2 (serves most jobs incl. the 1-partition job)", order[0])
+	}
+	if order[1] != 0 || order[2] != 1 {
+		t.Fatalf("tail order = %v, want [0 1] by priority", order[1:])
+	}
+}
+
+func TestOrderPartitionsDefaultOrder(t *testing.T) {
+	attend := map[int][]int{3: {1}, 1: {1}, 2: {1}}
+	jobNP := map[int]int{1: 3}
+	order := orderPartitions(attend, jobNP, false)
+	for i, pid := range []int{1, 2, 3} {
+		if order[i] != pid {
+			t.Fatalf("default order = %v, want ascending IDs", order)
+		}
+	}
+}
+
+func TestOrderPartitionsSkipsEmptyAttendance(t *testing.T) {
+	attend := map[int][]int{0: {}, 1: {5}}
+	order := orderPartitions(attend, map[int]int{5: 1}, true)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order = %v, want [1]", order)
+	}
+}
+
+func TestProfilerSolvesTwoByTwo(t *testing.T) {
+	var p profiler
+	// T(F)=2, T(E)=0.5: t = 2*proc + 0.5*scan.
+	p.observe(profSample{processed: 100, scanned: 400, elapsedNS: 2*100 + 0.5*400}, 0)
+	if p.profiled {
+		t.Fatal("profiled after one sample without shared T(E)")
+	}
+	p.observe(profSample{processed: 300, scanned: 500, elapsedNS: 2*300 + 0.5*500}, 0)
+	if !p.profiled {
+		t.Fatal("not profiled after two independent samples")
+	}
+	if diff := p.tF - 2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("T(F) = %v, want 2", p.tF)
+	}
+	if diff := p.tE - 0.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("T(E) = %v, want 0.5", p.tE)
+	}
+}
+
+func TestProfilerUsesSharedTE(t *testing.T) {
+	var p profiler
+	p.observe(profSample{processed: 100, scanned: 400, elapsedNS: 3*100 + 0.5*400}, 0.5)
+	if !p.profiled {
+		t.Fatal("shared T(E) should let one sample suffice")
+	}
+	if diff := p.tF - 3; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("T(F) = %v, want 3", p.tF)
+	}
+}
+
+func TestProfilerDegenerateFallback(t *testing.T) {
+	var p profiler
+	// PageRank-like: processed == scanned in both samples -> singular.
+	p.observe(profSample{processed: 100, scanned: 100, elapsedNS: 500}, 0)
+	p.observe(profSample{processed: 200, scanned: 200, elapsedNS: 1000}, 0)
+	if !p.profiled {
+		t.Fatal("degenerate fallback did not profile")
+	}
+	if p.tF < 0 || p.tE < 0 {
+		t.Fatalf("negative costs: tF=%v tE=%v", p.tF, p.tE)
+	}
+}
+
+func TestProfilerClampsNegative(t *testing.T) {
+	var p profiler
+	// Inconsistent timings can yield negative solutions; they clamp to 0.
+	p.observe(profSample{processed: 100, scanned: 400, elapsedNS: 10}, 0)
+	p.observe(profSample{processed: 400, scanned: 100, elapsedNS: 10000}, 0)
+	if !p.profiled {
+		t.Fatal("not profiled")
+	}
+	if p.tF < 0 || p.tE < 0 {
+		t.Fatalf("negative costs not clamped: tF=%v tE=%v", p.tF, p.tE)
+	}
+}
+
+func TestChunkLoadFormulas(t *testing.T) {
+	tbl := &chunk.Table{Entries: []chunk.Entry{
+		{Vertex: 1, OutCnt: 10},
+		{Vertex: 2, OutCnt: 20},
+		{Vertex: 3, OutCnt: 30},
+	}, NumEdges: 60}
+	active := engine.NewBitmap(8)
+	active.Set(1)
+	active.Set(3)
+	// Formula (3): L = tF * (10 + 30).
+	if got := chunkLoad(2.0, tbl, active); got != 80 {
+		t.Fatalf("chunkLoad = %v, want 80", got)
+	}
+	// Formula (4): lead = L + tE * total(60).
+	if got := chunkLeadTime(2.0, 0.5, tbl, active); got != 80+30 {
+		t.Fatalf("chunkLeadTime = %v, want 110", got)
+	}
+}
+
+func TestLocatePrefersNonEmptyPartition(t *testing.T) {
+	g := graph.MustNew("loc", 8, []graph.Edge{{Src: 1, Dst: 2, Weight: 1}})
+	parts := []*Partition{
+		{ID: 0, SrcLo: 0, SrcHi: 4, Edges: nil},
+		{ID: 1, SrcLo: 0, SrcHi: 4, Edges: g.Edges},
+		{ID: 2, SrcLo: 4, SrcHi: 8, Edges: nil},
+	}
+	s := &System{g: g, parts: parts}
+	p, err := s.locate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 1 {
+		t.Fatalf("located partition %d, want non-empty 1", p.ID)
+	}
+	p, err = s.locate(6)
+	if err != nil || p.ID != 2 {
+		t.Fatalf("fallback failed: %v %v", p, err)
+	}
+}

@@ -1,0 +1,132 @@
+package engine
+
+import "math/bits"
+
+// Bitmap is a dense bit set over vertex IDs, used for active-vertex
+// frontiers (Section 3.4.1: "a bitmap is created for each job").
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap for n vertices, all clear.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of addressable bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks bit i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear unmarks bit i.
+func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether bit i is set.
+func (b *Bitmap) Has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetAll marks every bit in [0, Len).
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// Clear the tail beyond n.
+	if extra := len(b.words)*64 - b.n; extra > 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] >>= uint(extra)
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyInRange reports whether any bit in [lo, hi) is set.
+func (b *Bitmap) AnyInRange(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	for i := lo; i < hi; {
+		if i&63 == 0 && i+64 <= hi {
+			if b.words[i>>6] != 0 {
+				return true
+			}
+			i += 64
+			continue
+		}
+		if b.Has(i) {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// CountInRange returns the number of set bits in [lo, hi).
+func (b *Bitmap) CountInRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	c := 0
+	for i := lo; i < hi; {
+		if i&63 == 0 && i+64 <= hi {
+			c += bits.OnesCount64(b.words[i>>6])
+			i += 64
+			continue
+		}
+		if b.Has(i) {
+			c++
+		}
+		i++
+	}
+	return c
+}
+
+// CopyFrom overwrites b with src; the bitmaps must have equal length.
+func (b *Bitmap) CopyFrom(src *Bitmap) {
+	if b.n != src.n {
+		panic("engine: CopyFrom length mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// Or merges src into b.
+func (b *Bitmap) Or(src *Bitmap) {
+	if b.n != src.n {
+		panic("engine: Or length mismatch")
+	}
+	for i := range b.words {
+		b.words[i] |= src.words[i]
+	}
+}
+
+// Bytes returns the bitmap's memory footprint.
+func (b *Bitmap) Bytes() int64 { return int64(len(b.words)) * 8 }

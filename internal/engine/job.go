@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"math/rand"
+	"time"
+
+	"graphm/internal/graph"
+	"graphm/internal/memsim"
+)
+
+// CostModel converts counted work into simulated time. Wall-clock time of
+// the Go process is not meaningful for the paper's tables (the real testbed
+// is a dual Xeon streaming from a hard drive), so engines count events and
+// this model prices them. The constants are calibrated so the relative
+// shapes — data access dominating compute, disk ≫ memory ≫ LLC — match the
+// paper's breakdown in Figure 10.
+type CostModel struct {
+	ScanNS        float64 // T(E): streaming one edge past a job
+	WorkNS        float64 // T(F) unit: processing one edge at EdgeCost 1.0
+	LLCHitNS      float64 // memory-level cost of an LLC hit
+	LLCMissNS     float64 // memory-level cost of an LLC miss
+	DiskBytesPerS float64 // sequential disk bandwidth
+}
+
+// DefaultCostModel mirrors the paper's testbed ratios: ~100 MB/s HDD,
+// ~1 ns LLC hit, ~60 ns DRAM access on miss, few-ns edge functions.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ScanNS:        1.0,
+		WorkNS:        3.0,
+		LLCHitNS:      1.0,
+		LLCMissNS:     60.0,
+		DiskBytesPerS: 100e6,
+	}
+}
+
+// DiskNS prices a disk transfer of n bytes.
+func (c CostModel) DiskNS(n uint64) uint64 {
+	return uint64(float64(n) / c.DiskBytesPerS * 1e9)
+}
+
+// Job binds one algorithm instance (a Program) to its runtime identity:
+// per-job LLC counters, work metrics, the simulated address of its
+// job-specific data, and its private RNG for parameter draws.
+type Job struct {
+	ID   int
+	Prog Program
+	Ctr  memsim.Counters
+	Met  Metrics
+
+	// StateBase is the simulated base address of the job-specific data S;
+	// distinct per job, so jobs never share S lines in the LLC (only G).
+	StateBase uint64
+	// VertexPay is U_v: bytes of job-specific data per vertex.
+	VertexPay uint64
+
+	// SubmitAt is the job's arrival time in the workload timeline, used by
+	// the Poisson/trace submission modes.
+	SubmitAt time.Duration
+
+	// Iter is the job's current iteration, maintained by the engine driver.
+	Iter int
+	// Done marks completion.
+	Done bool
+
+	rng *rand.Rand
+}
+
+// NewJob creates a job with a deterministic RNG derived from seed.
+func NewJob(id int, prog Program, seed int64) *Job {
+	return &Job{ID: id, Prog: prog, VertexPay: 8, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bind resets the program against g using the job's RNG and records the
+// job-specific data footprint.
+func (j *Job) Bind(g *graph.Graph) {
+	j.Prog.Reset(g, j.rng)
+}
+
+// StreamStats reports the outcome of streaming a run of edges for one job.
+type StreamStats struct {
+	Scanned   uint64
+	Processed uint64
+	Activated uint64
+	Elapsed   time.Duration // wall-clock, used by the profiling phase
+}
+
+// StreamEdges streams edges[first:first+n] of a partition buffer for job j:
+// every edge is scanned (touching its cache line at baseAddr), and edges
+// whose source is active are processed through the program, touching the
+// job's state lines for both endpoints. It updates the job's metrics and
+// returns per-call stats for the synchronization manager's profiler.
+func StreamEdges(j *Job, edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
+	start := time.Now()
+	active := j.Prog.Active()
+	var st StreamStats
+	var accessNS, computeNS float64
+	cost := j.Prog.EdgeCost()
+	for i, e := range edges {
+		addr := baseAddr + uint64(first+i)*graph.EdgeSize
+		if cache.Touch(addr, &j.Ctr) {
+			accessNS += cm.LLCMissNS
+		} else {
+			accessNS += cm.LLCHitNS
+		}
+		st.Scanned++
+		accessNS += cm.ScanNS
+		if !active.Has(int(e.Src)) {
+			continue
+		}
+		// Job-specific data accesses for the two endpoints.
+		if cache.Touch(j.StateBase+uint64(e.Src)*j.VertexPay, &j.Ctr) {
+			accessNS += cm.LLCMissNS
+		} else {
+			accessNS += cm.LLCHitNS
+		}
+		if cache.Touch(j.StateBase+uint64(e.Dst)*j.VertexPay, &j.Ctr) {
+			accessNS += cm.LLCMissNS
+		} else {
+			accessNS += cm.LLCHitNS
+		}
+		if j.Prog.ProcessEdge(e) {
+			st.Activated++
+		}
+		st.Processed++
+		computeNS += cm.WorkNS * cost
+	}
+	st.Elapsed = time.Since(start)
+	j.Met.ScannedEdges += st.Scanned
+	j.Met.ProcessedEdges += st.Processed
+	j.Met.SimMemNS += uint64(accessNS)
+	j.Met.SimComputeNS += uint64(computeNS)
+	return st
+}

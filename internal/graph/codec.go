@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary edge-file format ("GMEF"): a fixed header followed by 12-byte edge
+// records. This is the neutral on-"disk" representation that cmd/graphm-prep
+// converts into each engine's native layout, mirroring the Convert() step of
+// the paper's graph preprocessor.
+//
+//	offset 0: magic "GMEF"
+//	offset 4: uint32 version (1)
+//	offset 8: uint32 numV
+//	offset 12: uint64 numE
+//	offset 20: numE records of (uint32 src, uint32 dst, float32 weight)
+
+const (
+	codecMagic   = "GMEF"
+	codecVersion = 1
+	headerSize   = 20
+)
+
+// WriteTo serialises the graph in GMEF format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], codecVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.NumV))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(g.Edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n += 16
+	var rec [EdgeSize]byte
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+		binary.LittleEndian.PutUint32(rec[8:], floatBits(e.Weight))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n += EdgeSize
+	}
+	return n, bw.Flush()
+}
+
+// ReadGraph parses a GMEF stream.
+func ReadGraph(name string, r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: short header: %w", err)
+	}
+	if string(hdr[:4]) != codecMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != codecVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	numV := int(binary.LittleEndian.Uint32(hdr[8:]))
+	numE := binary.LittleEndian.Uint64(hdr[12:])
+	edges := make([]Edge, 0, numE)
+	var rec [EdgeSize]byte
+	for i := uint64(0); i < numE; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("graph: short edge %d: %w", i, err)
+		}
+		edges = append(edges, Edge{
+			Src:    binary.LittleEndian.Uint32(rec[0:]),
+			Dst:    binary.LittleEndian.Uint32(rec[4:]),
+			Weight: bitsFloat(binary.LittleEndian.Uint32(rec[8:])),
+		})
+	}
+	return New(name, numV, edges)
+}
+
+// EncodeEdges packs a slice of edges into the raw 12-byte-per-edge layout the
+// storage substrate stores as partition blobs.
+func EncodeEdges(edges []Edge) []byte {
+	buf := make([]byte, len(edges)*EdgeSize)
+	for i, e := range edges {
+		off := i * EdgeSize
+		binary.LittleEndian.PutUint32(buf[off:], e.Src)
+		binary.LittleEndian.PutUint32(buf[off+4:], e.Dst)
+		binary.LittleEndian.PutUint32(buf[off+8:], floatBits(e.Weight))
+	}
+	return buf
+}
+
+// DecodeEdges is the inverse of EncodeEdges.
+func DecodeEdges(buf []byte) ([]Edge, error) {
+	if len(buf)%EdgeSize != 0 {
+		return nil, fmt.Errorf("graph: blob length %d not a multiple of %d", len(buf), EdgeSize)
+	}
+	edges := make([]Edge, len(buf)/EdgeSize)
+	for i := range edges {
+		off := i * EdgeSize
+		edges[i] = Edge{
+			Src:    binary.LittleEndian.Uint32(buf[off:]),
+			Dst:    binary.LittleEndian.Uint32(buf[off+4:]),
+			Weight: bitsFloat(binary.LittleEndian.Uint32(buf[off+8:])),
+		}
+	}
+	return edges, nil
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }

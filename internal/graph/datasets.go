@@ -1,0 +1,76 @@
+package graph
+
+// Dataset presets mirror the five graphs in Table 2 of the paper, scaled down
+// so the whole evaluation runs on a laptop in minutes. The *ratios* that drive
+// the paper's results are preserved by pairing each preset with a simulated
+// memory budget (MemBudget): LiveJ/Orkut/Twitter fit in "memory" while
+// UKUnion and Clueweb are out-of-core, exactly as in the paper where
+// LiveJ/Orkut/Twitter fit the 32 GB host and UK-union/Clueweb12 do not.
+
+// Preset names, usable with Dataset and the -dataset flag of cmd/graphm-bench.
+const (
+	PresetLiveJ   = "livej"
+	PresetOrkut   = "orkut"
+	PresetTwitter = "twitter"
+	PresetUKUnion = "uk-union"
+	PresetClueweb = "clueweb"
+)
+
+// DatasetSpec describes one scaled dataset preset.
+type DatasetSpec struct {
+	Name string
+	NumV int
+	NumE int
+	Seed int64
+
+	// MemBudget is the simulated main-memory budget (bytes) under which the
+	// preset reproduces the paper's in-memory vs out-of-core split.
+	MemBudget int64
+
+	// LLCBytes is the simulated last-level-cache size paired with the preset.
+	LLCBytes int64
+
+	// OutOfCore reports whether the edge data exceeds MemBudget.
+	OutOfCore bool
+}
+
+// presets keep the paper's vertex:edge ratios approximately:
+// LiveJ 4.8M/69M (~14 e/v), Orkut 3.1M/117M (~38), Twitter 41.7M/1.5B (~35),
+// UK-union 133.6M/5.5B (~41), Clueweb12 978M/42.6B (~44).
+var presets = map[string]DatasetSpec{
+	PresetLiveJ:   {Name: PresetLiveJ, NumV: 2_600, NumE: 36_000, Seed: 11, MemBudget: 12 << 20, LLCBytes: 64 << 10, OutOfCore: false},
+	PresetOrkut:   {Name: PresetOrkut, NumV: 1_400, NumE: 52_000, Seed: 12, MemBudget: 16 << 20, LLCBytes: 64 << 10, OutOfCore: false},
+	PresetTwitter: {Name: PresetTwitter, NumV: 4_400, NumE: 154_000, Seed: 13, MemBudget: 48 << 20, LLCBytes: 64 << 10, OutOfCore: false},
+	PresetUKUnion: {Name: PresetUKUnion, NumV: 7_400, NumE: 300_000, Seed: 14, MemBudget: 1 << 20, LLCBytes: 64 << 10, OutOfCore: true},
+	PresetClueweb: {Name: PresetClueweb, NumV: 11_600, NumE: 512_000, Seed: 15, MemBudget: 2 << 21, LLCBytes: 64 << 10, OutOfCore: true},
+}
+
+// DatasetNames lists the presets in the paper's Table 2 order.
+func DatasetNames() []string {
+	return []string{PresetLiveJ, PresetOrkut, PresetTwitter, PresetUKUnion, PresetClueweb}
+}
+
+// Spec returns the preset spec; ok is false for unknown names.
+func Spec(name string) (DatasetSpec, bool) {
+	s, ok := presets[name]
+	return s, ok
+}
+
+// Dataset generates the preset graph. The generation is deterministic.
+func Dataset(name string) (*Graph, DatasetSpec, error) {
+	spec, ok := presets[name]
+	if !ok {
+		return nil, DatasetSpec{}, errUnknownDataset(name)
+	}
+	g, err := GenerateRMAT(DefaultRMAT(spec.Name, spec.NumV, spec.NumE, spec.Seed))
+	if err != nil {
+		return nil, DatasetSpec{}, err
+	}
+	return g, spec, nil
+}
+
+type errUnknownDataset string
+
+func (e errUnknownDataset) Error() string {
+	return "graph: unknown dataset preset " + string(e)
+}

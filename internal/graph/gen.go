@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterises the synthetic generators. All generators are
+// deterministic for a given Seed so experiments are reproducible.
+type GenConfig struct {
+	Name string
+	NumV int
+	NumE int
+	Seed int64
+
+	// R-MAT quadrant probabilities; must sum to ~1. The classic skewed
+	// social-network setting is A=0.57, B=0.19, C=0.19, D=0.05.
+	A, B, C, D float64
+
+	// MaxWeight bounds edge weights, drawn uniformly from [1, MaxWeight].
+	// Zero means unweighted (all weights 1).
+	MaxWeight float32
+}
+
+// DefaultRMAT returns the skewed R-MAT parameters used throughout the
+// benchmarks, approximating the degree skew of social graphs like Twitter.
+func DefaultRMAT(name string, numV, numE int, seed int64) GenConfig {
+	return GenConfig{
+		Name: name, NumV: numV, NumE: numE, Seed: seed,
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, MaxWeight: 64,
+	}
+}
+
+// GenerateRMAT builds a power-law graph with the recursive-matrix method.
+// Self-loops are permitted (real engines tolerate them); duplicate edges are
+// permitted as in the raw datasets the paper uses.
+func GenerateRMAT(cfg GenConfig) (*Graph, error) {
+	if cfg.NumV <= 1 || cfg.NumE <= 0 {
+		return nil, fmt.Errorf("graph: invalid generator config %+v", cfg)
+	}
+	sum := cfg.A + cfg.B + cfg.C + cfg.D
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("graph: R-MAT probabilities sum to %v, want 1", sum)
+	}
+	// Round the vertex count up to a power of two for quadrant recursion,
+	// then reject vertices outside the requested range by re-drawing.
+	levels := 0
+	for 1<<levels < cfg.NumV {
+		levels++
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]Edge, 0, cfg.NumE)
+	for len(edges) < cfg.NumE {
+		src, dst := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: nothing to add
+			case r < cfg.A+cfg.B:
+				dst |= 1 << l
+			case r < cfg.A+cfg.B+cfg.C:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= cfg.NumV || dst >= cfg.NumV {
+			continue
+		}
+		w := float32(1)
+		if cfg.MaxWeight > 1 {
+			w = 1 + float32(rng.Intn(int(cfg.MaxWeight)))
+		}
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), Weight: w})
+	}
+	return New(cfg.Name, cfg.NumV, edges)
+}
+
+// GenerateUniform builds an Erdős–Rényi-style random graph: endpoints drawn
+// uniformly. Used by property tests as a low-skew contrast to R-MAT.
+func GenerateUniform(name string, numV, numE int, seed int64) (*Graph, error) {
+	if numV <= 0 || numE < 0 {
+		return nil, fmt.Errorf("graph: invalid uniform config v=%d e=%d", numV, numE)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, numE)
+	for i := range edges {
+		edges[i] = Edge{
+			Src:    VertexID(rng.Intn(numV)),
+			Dst:    VertexID(rng.Intn(numV)),
+			Weight: 1 + float32(rng.Intn(16)),
+		}
+	}
+	return New(name, numV, edges)
+}
+
+// GenerateChain builds a deterministic path 0->1->...->numV-1, useful for
+// tests whose expected results must be computed by hand.
+func GenerateChain(name string, numV int) *Graph {
+	edges := make([]Edge, 0, numV-1)
+	for v := 0; v < numV-1; v++ {
+		edges = append(edges, Edge{Src: VertexID(v), Dst: VertexID(v + 1), Weight: 1})
+	}
+	return MustNew(name, numV, edges)
+}

@@ -1,0 +1,195 @@
+// Package graph provides the in-memory graph model shared by every engine
+// substrate in this repository: edges, adjacency (CSR) construction, degree
+// statistics, and a compact binary edge-file codec.
+//
+// The model is deliberately engine-neutral. GridGraph re-partitions edges
+// into a 2-D grid, GraphChi into destination-sorted shards, PowerGraph into
+// vertex-cut CSR/CSC, and Chaos into flat edge lists; all of them start from
+// the Graph type defined here.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies a vertex. Vertices are dense integers in [0, NumVertices).
+type VertexID = uint32
+
+// Edge is a directed, weighted edge. Weight is used by SSSP; unweighted
+// algorithms ignore it.
+type Edge struct {
+	Src    VertexID
+	Dst    VertexID
+	Weight float32
+}
+
+// EdgeSize is the in-memory footprint of one Edge in bytes, used by the chunk
+// sizing formula and the LLC simulator.
+const EdgeSize = 12
+
+// Graph is an immutable directed graph held as an edge list plus lazily built
+// adjacency indexes.
+type Graph struct {
+	Name  string
+	NumV  int
+	Edges []Edge
+
+	// Lazily built indexes; the sync.Once guards make concurrent jobs
+	// binding to the same shared graph safe.
+	outDegOnce sync.Once
+	outDeg     []uint32
+	inDegOnce  sync.Once
+	inDeg      []uint32
+
+	// CSR (out-edges) built on demand by BuildCSR.
+	csrOnce  sync.Once
+	csrIndex []uint64
+	csrEdges []Edge
+}
+
+// New creates a graph from an edge list. Edges with endpoints outside
+// [0, numV) are rejected.
+func New(name string, numV int, edges []Edge) (*Graph, error) {
+	if numV <= 0 {
+		return nil, fmt.Errorf("graph: numV must be positive, got %d", numV)
+	}
+	for i, e := range edges {
+		if int(e.Src) >= numV || int(e.Dst) >= numV {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, numV)
+		}
+	}
+	return &Graph{Name: name, NumV: numV, Edges: edges}, nil
+}
+
+// MustNew is New, panicking on error. Intended for tests and generators whose
+// inputs are valid by construction.
+func MustNew(name string, numV int, edges []Edge) *Graph {
+	g, err := New(name, numV, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// SizeBytes returns the edge-list footprint in bytes, the quantity the paper
+// calls S_G in Formula (1).
+func (g *Graph) SizeBytes() int64 { return int64(len(g.Edges)) * EdgeSize }
+
+// OutDegrees returns the out-degree array, computing it on first use.
+// Safe for concurrent callers.
+func (g *Graph) OutDegrees() []uint32 {
+	g.outDegOnce.Do(func() {
+		d := make([]uint32, g.NumV)
+		for _, e := range g.Edges {
+			d[e.Src]++
+		}
+		g.outDeg = d
+	})
+	return g.outDeg
+}
+
+// InDegrees returns the in-degree array, computing it on first use.
+// Safe for concurrent callers.
+func (g *Graph) InDegrees() []uint32 {
+	g.inDegOnce.Do(func() {
+		d := make([]uint32, g.NumV)
+		for _, e := range g.Edges {
+			d[e.Dst]++
+		}
+		g.inDeg = d
+	})
+	return g.inDeg
+}
+
+// MaxOutDegree returns the maximum out-degree and the vertex attaining it.
+func (g *Graph) MaxOutDegree() (VertexID, uint32) {
+	var best VertexID
+	var max uint32
+	for v, d := range g.OutDegrees() {
+		if d > max {
+			max = d
+			best = VertexID(v)
+		}
+	}
+	return best, max
+}
+
+// BuildCSR builds the out-edge CSR index used by PowerGraph-style engines and
+// by reference algorithm implementations. It is idempotent and safe for
+// concurrent callers.
+func (g *Graph) BuildCSR() {
+	g.csrOnce.Do(func() {
+		deg := g.OutDegrees()
+		index := make([]uint64, g.NumV+1)
+		for v := 0; v < g.NumV; v++ {
+			index[v+1] = index[v] + uint64(deg[v])
+		}
+		sorted := make([]Edge, len(g.Edges))
+		next := make([]uint64, g.NumV)
+		copy(next, index[:g.NumV])
+		for _, e := range g.Edges {
+			sorted[next[e.Src]] = e
+			next[e.Src]++
+		}
+		g.csrIndex = index
+		g.csrEdges = sorted
+	})
+}
+
+// OutEdges returns the out-edges of v. BuildCSR must have been called.
+func (g *Graph) OutEdges(v VertexID) []Edge {
+	if g.csrIndex == nil {
+		panic("graph: OutEdges called before BuildCSR")
+	}
+	return g.csrEdges[g.csrIndex[v]:g.csrIndex[v+1]]
+}
+
+// ErrNoEdges is returned by operations that need a non-empty edge set.
+var ErrNoEdges = errors.New("graph: graph has no edges")
+
+// SortedByDst returns a copy of the edge list sorted by (Dst, Src); GraphChi
+// shards are built from this order.
+func (g *Graph) SortedByDst() []Edge {
+	out := make([]Edge, len(g.Edges))
+	copy(out, g.Edges)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dst != out[j].Dst {
+			return out[i].Dst < out[j].Dst
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}
+
+// Stats summarises a graph for reports and dataset tables.
+type Stats struct {
+	Name         string
+	NumV         int
+	NumE         int
+	SizeBytes    int64
+	MaxOutDegree uint32
+	AvgOutDegree float64
+}
+
+// Statistics computes summary statistics.
+func (g *Graph) Statistics() Stats {
+	_, max := g.MaxOutDegree()
+	avg := 0.0
+	if g.NumV > 0 {
+		avg = float64(len(g.Edges)) / float64(g.NumV)
+	}
+	return Stats{
+		Name:         g.Name,
+		NumV:         g.NumV,
+		NumE:         len(g.Edges),
+		SizeBytes:    g.SizeBytes(),
+		MaxOutDegree: max,
+		AvgOutDegree: avg,
+	}
+}

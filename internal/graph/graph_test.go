@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	_, err := New("bad", 4, []Edge{{Src: 0, Dst: 4}})
+	if err == nil {
+		t.Fatal("expected error for out-of-range destination")
+	}
+	_, err = New("bad", 0, nil)
+	if err == nil {
+		t.Fatal("expected error for zero vertices")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := MustNew("g", 4, []Edge{{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {3, 0, 1}})
+	out := g.OutDegrees()
+	want := []uint32{2, 1, 0, 1}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out-degree of %d = %d, want %d", i, out[i], w)
+		}
+	}
+	in := g.InDegrees()
+	wantIn := []uint32{1, 1, 2, 0}
+	for i, w := range wantIn {
+		if in[i] != w {
+			t.Errorf("in-degree of %d = %d, want %d", i, in[i], w)
+		}
+	}
+	v, max := g.MaxOutDegree()
+	if v != 0 || max != 2 {
+		t.Errorf("MaxOutDegree = (%d,%d), want (0,2)", v, max)
+	}
+}
+
+func TestCSRMatchesEdgeList(t *testing.T) {
+	g, err := GenerateUniform("u", 100, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BuildCSR()
+	total := 0
+	for v := 0; v < g.NumV; v++ {
+		for _, e := range g.OutEdges(VertexID(v)) {
+			if e.Src != VertexID(v) {
+				t.Fatalf("CSR edge %v under vertex %d", e, v)
+			}
+			total++
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("CSR has %d edges, want %d", total, g.NumEdges())
+	}
+}
+
+func TestRMATGeneratesRequestedEdges(t *testing.T) {
+	g, err := GenerateRMAT(DefaultRMAT("r", 1024, 5000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 5000 {
+		t.Fatalf("edges = %d, want 5000", g.NumEdges())
+	}
+	if g.NumV != 1024 {
+		t.Fatalf("numV = %d, want 1024", g.NumV)
+	}
+	// R-MAT with skewed quadrants should be heavy-tailed: the max out-degree
+	// far exceeds the average.
+	_, max := g.MaxOutDegree()
+	if float64(max) < 4*g.Statistics().AvgOutDegree {
+		t.Errorf("max out-degree %d not skewed vs avg %.2f", max, g.Statistics().AvgOutDegree)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, _ := GenerateRMAT(DefaultRMAT("a", 256, 1000, 42))
+	b, _ := GenerateRMAT(DefaultRMAT("b", 256, 1000, 42))
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestRMATRejectsBadProbabilities(t *testing.T) {
+	cfg := DefaultRMAT("x", 64, 100, 1)
+	cfg.A = 0.9
+	if _, err := GenerateRMAT(cfg); err == nil {
+		t.Fatal("expected error for probabilities not summing to 1")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	g, err := GenerateUniform("rt", 50, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumV != g.NumV || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", got.NumV, got.NumEdges(), g.NumV, g.NumEdges())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != got.Edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, g.Edges[i], got.Edges[i])
+		}
+	}
+}
+
+func TestCodecRejectsCorruptHeader(t *testing.T) {
+	if _, err := ReadGraph("x", bytes.NewReader([]byte("NOPE00000000000000000000"))); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestEncodeDecodeEdgesProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, int(n))
+		for i := range edges {
+			edges[i] = Edge{
+				Src:    uint32(rng.Intn(1000)),
+				Dst:    uint32(rng.Intn(1000)),
+				Weight: float32(rng.Intn(100)) + 1,
+			}
+		}
+		blob := EncodeEdges(edges)
+		back, err := DecodeEdges(blob)
+		if err != nil || len(back) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if edges[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEdgesRejectsBadLength(t *testing.T) {
+	if _, err := DecodeEdges(make([]byte, 13)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSortedByDst(t *testing.T) {
+	g := MustNew("s", 4, []Edge{{3, 2, 1}, {1, 0, 1}, {2, 2, 1}, {0, 1, 1}})
+	s := g.SortedByDst()
+	for i := 1; i < len(s); i++ {
+		if s[i].Dst < s[i-1].Dst {
+			t.Fatalf("not sorted by dst at %d: %v after %v", i, s[i], s[i-1])
+		}
+	}
+	// Original untouched.
+	if g.Edges[0].Src != 3 {
+		t.Fatal("SortedByDst mutated the original edge list")
+	}
+}
+
+func TestDatasetPresets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		g, spec, err := Dataset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumEdges() != spec.NumE {
+			t.Errorf("%s: edges %d, want %d", name, g.NumEdges(), spec.NumE)
+		}
+		if spec.OutOfCore != (g.SizeBytes() > spec.MemBudget) {
+			t.Errorf("%s: OutOfCore=%v inconsistent with size %d vs budget %d",
+				name, spec.OutOfCore, g.SizeBytes(), spec.MemBudget)
+		}
+	}
+	if _, _, err := Dataset("nonsense"); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+}
+
+func TestGenerateChain(t *testing.T) {
+	g := GenerateChain("c", 5)
+	if g.NumEdges() != 4 {
+		t.Fatalf("chain edges = %d, want 4", g.NumEdges())
+	}
+	for i, e := range g.Edges {
+		if int(e.Src) != i || int(e.Dst) != i+1 {
+			t.Fatalf("edge %d = %v", i, e)
+		}
+	}
+}

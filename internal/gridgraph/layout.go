@@ -1,0 +1,22 @@
+package gridgraph
+
+import (
+	"graphm/internal/core"
+)
+
+// AsLayout exposes the grid to GraphM (internal/core). GraphM manages the
+// blocks exactly as GridGraph laid them out; only logical chunk labels are
+// added on top (Section 3.2).
+func (g *Grid) AsLayout() core.Layout {
+	parts := make([]*core.Partition, 0, len(g.Parts))
+	for _, p := range g.Parts {
+		parts = append(parts, &core.Partition{
+			ID:       p.ID,
+			SrcLo:    p.SrcLo,
+			SrcHi:    p.SrcHi,
+			DiskName: p.DiskName,
+			Edges:    p.Edges,
+		})
+	}
+	return core.NewLayout(g.G, parts)
+}

@@ -1,0 +1,69 @@
+package gridgraph
+
+import (
+	"testing"
+
+	"graphm/internal/graph"
+	"graphm/internal/storage"
+)
+
+func TestAsLayoutMirrorsGrid(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("l", 300, 2400, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	grid, err := Build(g, 3, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := grid.AsLayout()
+	if layout.Graph() != g {
+		t.Fatal("layout graph mismatch")
+	}
+	parts := layout.Partitions()
+	if len(parts) != grid.NumPartitions() {
+		t.Fatalf("layout has %d partitions, want %d", len(parts), grid.NumPartitions())
+	}
+	total := 0
+	for i, p := range parts {
+		gp := grid.Partition(i)
+		if p.ID != gp.ID || p.SrcLo != gp.SrcLo || p.SrcHi != gp.SrcHi || p.DiskName != gp.DiskName {
+			t.Fatalf("partition %d metadata mismatch: %+v vs grid %+v", i, p, gp)
+		}
+		if len(p.Edges) != len(gp.Edges) {
+			t.Fatalf("partition %d edges %d vs %d", i, len(p.Edges), len(gp.Edges))
+		}
+		total += len(p.Edges)
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("layout covers %d edges, want %d", total, g.NumEdges())
+	}
+}
+
+func TestDiskBlobsDecodeToPartitionEdges(t *testing.T) {
+	g, _ := graph.GenerateUniform("b", 100, 900, 72)
+	disk := storage.NewDisk()
+	grid, err := Build(g, 2, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range grid.Parts {
+		blob, err := disk.Read(p.DiskName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges, err := graph.DecodeEdges(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edges) != len(p.Edges) {
+			t.Fatalf("partition %d blob has %d edges, want %d", p.ID, len(edges), len(p.Edges))
+		}
+		for i := range edges {
+			if edges[i] != p.Edges[i] {
+				t.Fatalf("partition %d edge %d mismatch", p.ID, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package jobs builds the concurrent-job workloads of the paper's
+// evaluation (Section 5.1): WCC, PageRank, SSSP and BFS submitted in turn
+// with randomised parameters, either all at once, sequentially, or with
+// Poisson(λ) inter-arrival times; plus replay of the social-network trace.
+package jobs
+
+import (
+	"math/rand"
+	"time"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/trace"
+)
+
+// Workload is a reproducible batch of jobs with submission offsets.
+type Workload struct {
+	Jobs []*engine.Job
+	// Delay[i] is the submission offset of Jobs[i] from workload start.
+	Delay []time.Duration
+}
+
+// NewProgram instantiates one of the paper's four benchmark algorithms by
+// name with randomised parameters drawn from rng (Section 5.1: random
+// damping, random roots, random WCC iteration budgets).
+func NewProgram(algo string, rng *rand.Rand) engine.Program {
+	switch algo {
+	case "pagerank":
+		return algorithms.NewPageRank(0, 10) // damping randomised at Reset
+	case "wcc":
+		return algorithms.NewWCC(0) // budget randomised at Reset
+	case "bfs":
+		return algorithms.NewRandomBFS()
+	case "sssp":
+		return algorithms.NewRandomSSSP()
+	default:
+		panic("jobs: unknown algorithm " + algo)
+	}
+}
+
+// Rotation returns n jobs cycling WCC, PageRank, SSSP, BFS — the paper's
+// submission rotation — with deterministic per-job seeds.
+func Rotation(n int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		algo := trace.Algorithms[i%len(trace.Algorithms)]
+		w.Jobs = append(w.Jobs, engine.NewJob(i+1, NewProgram(algo, rng), rng.Int63()))
+		w.Delay = append(w.Delay, 0)
+	}
+	return w
+}
+
+// RotationOf returns n jobs all running the named algorithm (used by the
+// scaling experiments, e.g. Figure 19's 16 PageRank jobs).
+func RotationOf(algo string, n int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		w.Jobs = append(w.Jobs, engine.NewJob(i+1, NewProgram(algo, rng), rng.Int63()))
+		w.Delay = append(w.Delay, 0)
+	}
+	return w
+}
+
+// Poisson assigns Poisson(λ jobs per unit) inter-arrival delays to a
+// rotation of n jobs; unit is the simulated duration of one arrival window
+// (the paper uses λ=16 by default).
+func Poisson(n int, lambda float64, unit time.Duration, seed int64) *Workload {
+	w := Rotation(n, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	at := 0.0
+	for i := range w.Jobs {
+		at += rng.ExpFloat64() / lambda
+		w.Delay[i] = time.Duration(at * float64(unit))
+	}
+	return w
+}
+
+// FromTrace converts trace events into a workload; hourScale maps one trace
+// hour onto simulated wall time.
+func FromTrace(tr *trace.Trace, maxJobs int, hourScale time.Duration) *Workload {
+	w := &Workload{}
+	for i, e := range tr.Events {
+		if maxJobs > 0 && i >= maxJobs {
+			break
+		}
+		rng := rand.New(rand.NewSource(e.Seed))
+		w.Jobs = append(w.Jobs, engine.NewJob(i+1, NewProgram(e.Algo, rng), e.Seed))
+		w.Delay = append(w.Delay, time.Duration(e.AtHour*float64(hourScale)))
+	}
+	return w
+}
+
+// HopConstrained returns n BFS (or SSSP) jobs whose roots all lie within
+// maxHops of a common centre vertex — the Figure 17 workload studying how
+// root proximity strengthens access similarity.
+func HopConstrained(algo string, n int, g *graph.Graph, centre graph.VertexID, maxHops int, seed int64) *Workload {
+	dist := algorithms.ReferenceBFS(g, centre)
+	var candidates []graph.VertexID
+	for v, d := range dist {
+		if d != algorithms.Unreached && int(d) <= maxHops {
+			candidates = append(candidates, graph.VertexID(v))
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = []graph.VertexID{centre}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		root := candidates[rng.Intn(len(candidates))]
+		var prog engine.Program
+		if algo == "sssp" {
+			prog = algorithms.NewSSSP(root)
+		} else {
+			prog = algorithms.NewBFS(root)
+		}
+		w.Jobs = append(w.Jobs, engine.NewJob(i+1, prog, rng.Int63()))
+		w.Delay = append(w.Delay, 0)
+	}
+	return w
+}
+
+// Submitter abstracts the three execution schemes over any engine: the
+// bench harness passes closures wrapping GridGraph-S, -C and -M.
+type Submitter interface {
+	// Submit starts a job (possibly immediately running it to completion,
+	// as the sequential scheme does).
+	Submit(j *engine.Job)
+	// Wait blocks until all submitted jobs finish and returns any error.
+	Wait() error
+}
+
+// RunWorkload submits every job of w through s, honouring delays scaled by
+// timeScale (0 disables delays entirely — all jobs submitted immediately).
+func RunWorkload(w *Workload, s Submitter, timeScale float64) error {
+	start := time.Now()
+	for i, j := range w.Jobs {
+		if timeScale > 0 && w.Delay[i] > 0 {
+			target := time.Duration(float64(w.Delay[i]) * timeScale)
+			if sleep := target - time.Since(start); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+		s.Submit(j)
+	}
+	return s.Wait()
+}

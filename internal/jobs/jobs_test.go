@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/trace"
+)
+
+func TestNewProgramKnownAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, a := range []string{"pagerank", "wcc", "bfs", "sssp"} {
+		p := NewProgram(a, rng)
+		if p.Name() != a {
+			t.Errorf("NewProgram(%q).Name() = %q", a, p.Name())
+		}
+	}
+}
+
+func TestNewProgramUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown algorithm")
+		}
+	}()
+	NewProgram("quicksort", rand.New(rand.NewSource(1)))
+}
+
+func TestRotationCyclesAlgorithms(t *testing.T) {
+	w := Rotation(8, 1)
+	if len(w.Jobs) != 8 {
+		t.Fatalf("jobs = %d, want 8", len(w.Jobs))
+	}
+	for i, j := range w.Jobs {
+		want := trace.Algorithms[i%len(trace.Algorithms)]
+		if j.Prog.Name() != want {
+			t.Errorf("job %d runs %q, want %q", i, j.Prog.Name(), want)
+		}
+		if j.ID != i+1 {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+	}
+}
+
+func TestRotationDeterministic(t *testing.T) {
+	g, _ := graph.GenerateUniform("d", 100, 400, 5)
+	run := func() []uint32 {
+		w := Rotation(4, 9)
+		b := w.Jobs[3] // bfs
+		b.Bind(g)
+		return b.Prog.(*algorithms.BFS).Dist()
+	}
+	_ = run
+	w1, w2 := Rotation(4, 9), Rotation(4, 9)
+	b1, b2 := w1.Jobs[3].Prog.(*algorithms.BFS), w2.Jobs[3].Prog.(*algorithms.BFS)
+	w1.Jobs[3].Bind(g)
+	w2.Jobs[3].Bind(g)
+	if b1.Root != b2.Root {
+		t.Fatalf("same seed produced different roots: %d vs %d", b1.Root, b2.Root)
+	}
+}
+
+func TestPoissonDelaysIncrease(t *testing.T) {
+	w := Poisson(10, 4, time.Millisecond, 3)
+	prev := time.Duration(-1)
+	for i, d := range w.Delay {
+		if d <= prev {
+			t.Fatalf("delay %d not increasing: %v after %v", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPoissonHigherLambdaDenser(t *testing.T) {
+	slow := Poisson(16, 2, time.Millisecond, 3)
+	fast := Poisson(16, 16, time.Millisecond, 3)
+	if fast.Delay[15] >= slow.Delay[15] {
+		t.Fatalf("lambda=16 span %v not denser than lambda=2 span %v",
+			fast.Delay[15], slow.Delay[15])
+	}
+}
+
+func TestFromTraceRespectsLimitAndDelays(t *testing.T) {
+	tr := trace.Generate(24, 5)
+	w := FromTrace(tr, 10, time.Millisecond)
+	if len(w.Jobs) != 10 {
+		t.Fatalf("jobs = %d, want 10", len(w.Jobs))
+	}
+	for i := range w.Jobs {
+		want := time.Duration(tr.Events[i].AtHour * float64(time.Millisecond))
+		if w.Delay[i] != want {
+			t.Fatalf("delay %d = %v, want %v", i, w.Delay[i], want)
+		}
+	}
+}
+
+func TestHopConstrainedRootsWithinHops(t *testing.T) {
+	g, _ := graph.GenerateRMAT(graph.DefaultRMAT("h", 500, 4000, 7))
+	centre, _ := g.MaxOutDegree()
+	dist := algorithms.ReferenceBFS(g, centre)
+	for hops := 1; hops <= 3; hops++ {
+		w := HopConstrained("bfs", 8, g, centre, hops, 11)
+		for i, j := range w.Jobs {
+			root := j.Prog.(*algorithms.BFS).Root
+			if dist[root] == algorithms.Unreached || int(dist[root]) > hops {
+				t.Fatalf("hops=%d job %d root %d at distance %d", hops, i, root, dist[root])
+			}
+		}
+	}
+}
+
+func TestHopConstrainedSSSP(t *testing.T) {
+	g, _ := graph.GenerateUniform("s", 200, 1000, 3)
+	w := HopConstrained("sssp", 4, g, 0, 2, 5)
+	for _, j := range w.Jobs {
+		if j.Prog.Name() != "sssp" {
+			t.Fatalf("got %q", j.Prog.Name())
+		}
+	}
+}
+
+// recordingSubmitter captures submission order and times.
+type recordingSubmitter struct {
+	ids   []int
+	times []time.Time
+}
+
+func (r *recordingSubmitter) Submit(j *engine.Job) {
+	r.ids = append(r.ids, j.ID)
+	r.times = append(r.times, time.Now())
+}
+func (r *recordingSubmitter) Wait() error { return nil }
+
+func TestRunWorkloadHonoursDelays(t *testing.T) {
+	w := &Workload{}
+	for i := 0; i < 3; i++ {
+		w.Jobs = append(w.Jobs, engine.NewJob(i+1, algorithms.NewBFS(0), int64(i)))
+		w.Delay = append(w.Delay, time.Duration(i)*10*time.Millisecond)
+	}
+	rec := &recordingSubmitter{}
+	start := time.Now()
+	if err := RunWorkload(w, rec, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ids) != 3 {
+		t.Fatalf("submitted %d jobs", len(rec.ids))
+	}
+	if got := rec.times[2].Sub(start); got < 15*time.Millisecond {
+		t.Fatalf("third submission after %v, want >= ~20ms", got)
+	}
+	// TimeScale 0 disables sleeping entirely.
+	rec2 := &recordingSubmitter{}
+	start = time.Now()
+	if err := RunWorkload(w, rec2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Millisecond {
+		t.Fatal("TimeScale 0 should not sleep")
+	}
+}

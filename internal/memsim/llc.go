@@ -1,0 +1,196 @@
+// Package memsim simulates the last-level cache (LLC) of the paper's testbed.
+//
+// The paper's evaluation measures LLC misses, LLC miss rate, misses per
+// instruction (LPI), and the volume of data swapped into the LLC (Figures 3,
+// 13, 14). Those were read from hardware performance counters on a Xeon with
+// a 20 MB LLC. Go offers no portable, deterministic access to such counters,
+// and the GC would pollute them anyway, so this package replays the engines'
+// memory-access streams through a set-associative LRU cache model and counts
+// the same events. The substitution preserves the comparison the paper makes:
+// the same access streams that would thrash a real LLC thrash the model.
+package memsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// LineSize is the simulated cache-line size in bytes.
+const LineSize = 64
+
+// Config describes a simulated LLC.
+type Config struct {
+	// SizeBytes is the total cache capacity. The paper's machine has 20 MB;
+	// the dataset presets pair scaled-down sizes with scaled-down graphs.
+	SizeBytes int64
+	// Ways is the set associativity. 16 matches contemporary Xeon LLCs.
+	Ways int
+}
+
+// DefaultConfig returns a 16-way cache of the given size.
+func DefaultConfig(sizeBytes int64) Config { return Config{SizeBytes: sizeBytes, Ways: 16} }
+
+// Counters aggregates per-job access statistics.
+type Counters struct {
+	Hits         atomic.Uint64
+	Misses       atomic.Uint64
+	Instructions atomic.Uint64
+}
+
+// LPI returns LLC misses per instruction, the metric of Figure 3(c).
+func (c *Counters) LPI() float64 {
+	ins := c.Instructions.Load()
+	if ins == 0 {
+		return 0
+	}
+	return float64(c.Misses.Load()) / float64(ins)
+}
+
+// MissRate returns misses / (hits+misses), the metric of Figure 13.
+func (c *Counters) MissRate() float64 {
+	h, m := c.Hits.Load(), c.Misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(m) / float64(h+m)
+}
+
+// Cache is a shared, set-associative, LRU-replacement cache model. Addresses
+// are abstract byte addresses in a flat simulated physical space; callers
+// derive them from (region base + offset). Cache is safe for concurrent use;
+// each set is locked independently so parallel jobs contend realistically.
+type Cache struct {
+	ways    int
+	numSets uint64
+	sets    []cacheSet
+
+	totalMisses atomic.Uint64
+	totalHits   atomic.Uint64
+}
+
+type cacheSet struct {
+	mu    sync.Mutex
+	tags  []uint64 // tag per way; 0 means empty (tag values are shifted to avoid 0)
+	clock []uint64 // LRU timestamps
+	tick  uint64
+}
+
+// NewCache builds a cache from cfg. SizeBytes is rounded down to a power-of-
+// two number of sets; a cache smaller than one set is rejected.
+func NewCache(cfg Config) (*Cache, error) {
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("memsim: ways must be positive, got %d", cfg.Ways)
+	}
+	lines := cfg.SizeBytes / LineSize
+	sets := lines / int64(cfg.Ways)
+	if sets <= 0 {
+		return nil, fmt.Errorf("memsim: cache of %d bytes too small for %d ways", cfg.SizeBytes, cfg.Ways)
+	}
+	// Round down to a power of two for cheap indexing.
+	p := uint64(1)
+	for p*2 <= uint64(sets) {
+		p *= 2
+	}
+	c := &Cache{ways: cfg.Ways, numSets: p, sets: make([]cacheSet, p)}
+	for i := range c.sets {
+		c.sets[i].tags = make([]uint64, cfg.Ways)
+		c.sets[i].clock = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// SizeBytes reports the modelled capacity.
+func (c *Cache) SizeBytes() int64 {
+	return int64(c.numSets) * int64(c.ways) * LineSize
+}
+
+// Touch simulates a load of one cache line containing addr, updating ctr (if
+// non-nil) and the cache-wide counters. It reports whether the access missed.
+func (c *Cache) Touch(addr uint64, ctr *Counters) bool {
+	line := addr / LineSize
+	set := &c.sets[line&(c.numSets-1)]
+	tag := line/c.numSets + 1 // +1 so that 0 marks an empty way
+
+	set.mu.Lock()
+	set.tick++
+	tick := set.tick
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w, t := range set.tags {
+		if t == tag {
+			set.clock[w] = tick
+			set.mu.Unlock()
+			c.totalHits.Add(1)
+			if ctr != nil {
+				ctr.Hits.Add(1)
+				ctr.Instructions.Add(1)
+			}
+			return false
+		}
+		if set.clock[w] < oldest {
+			oldest = set.clock[w]
+			victim = w
+		}
+	}
+	set.tags[victim] = tag
+	set.clock[victim] = tick
+	set.mu.Unlock()
+
+	c.totalMisses.Add(1)
+	if ctr != nil {
+		ctr.Misses.Add(1)
+		ctr.Instructions.Add(1)
+	}
+	return true
+}
+
+// TouchRange simulates a sequential scan of [addr, addr+n) and reports the
+// number of line misses. Used for bulk edge streaming.
+func (c *Cache) TouchRange(addr, n uint64, ctr *Counters) int {
+	if n == 0 {
+		return 0
+	}
+	first := addr / LineSize
+	last := (addr + n - 1) / LineSize
+	misses := 0
+	for l := first; l <= last; l++ {
+		if c.Touch(l*LineSize, ctr) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// TotalMisses returns the cache-wide miss count. Multiplying by LineSize
+// gives the volume of data swapped into the LLC (Figure 14).
+func (c *Cache) TotalMisses() uint64 { return c.totalMisses.Load() }
+
+// TotalHits returns the cache-wide hit count.
+func (c *Cache) TotalHits() uint64 { return c.totalHits.Load() }
+
+// SwappedBytes returns the total bytes loaded into the cache.
+func (c *Cache) SwappedBytes() uint64 { return c.TotalMisses() * LineSize }
+
+// MissRate returns the cache-wide miss rate.
+func (c *Cache) MissRate() float64 {
+	h, m := c.TotalHits(), c.TotalMisses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(m) / float64(h+m)
+}
+
+// Reset clears contents and counters. Not safe concurrently with Touch.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		s := &c.sets[i]
+		for w := range s.tags {
+			s.tags[w] = 0
+			s.clock[w] = 0
+		}
+		s.tick = 0
+	}
+	c.totalHits.Store(0)
+	c.totalMisses.Store(0)
+}

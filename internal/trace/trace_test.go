@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(48, 7)
+	b := Generate(48, 7)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestConcurrencyMatchesPaperShape(t *testing.T) {
+	tr := Generate(168, 42)
+	st := tr.ConcurrencyStats(1.0)
+	if st.Peak <= 30 {
+		t.Errorf("peak = %d, paper reports >30", st.Peak)
+	}
+	if st.Mean < 12 || st.Mean > 20 {
+		t.Errorf("mean = %.1f, paper reports ~16", st.Mean)
+	}
+}
+
+func TestEventsOrderedAndInRange(t *testing.T) {
+	tr := Generate(24, 3)
+	prev := 0.0
+	for i, e := range tr.Events {
+		if e.AtHour < prev {
+			t.Fatalf("event %d out of order: %f after %f", i, e.AtHour, prev)
+		}
+		prev = e.AtHour
+		if e.AtHour < 0 || e.AtHour >= 24 {
+			t.Fatalf("event %d outside trace: %f", i, e.AtHour)
+		}
+	}
+}
+
+func TestAlgorithmRotation(t *testing.T) {
+	tr := Generate(24, 3)
+	for i, e := range tr.Events {
+		if e.Algo != Algorithms[i%len(Algorithms)] {
+			t.Fatalf("event %d algo %q, want %q", i, e.Algo, Algorithms[i%len(Algorithms)])
+		}
+	}
+}
+
+func TestSharingProfileMonotone(t *testing.T) {
+	p := Sharing(16, 0.9)
+	if !(p.MoreThan1 >= p.MoreThan2 && p.MoreThan2 >= p.MoreThan4 && p.MoreThan4 >= p.MoreThan8) {
+		t.Fatalf("profile not monotone: %+v", p)
+	}
+	if p.MoreThan1 < 0.82 {
+		t.Errorf("MoreThan1 = %v, paper reports >82%% shared", p.MoreThan1)
+	}
+	for _, v := range []float64{p.MoreThan1, p.MoreThan2, p.MoreThan4, p.MoreThan8} {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", v)
+		}
+	}
+}
+
+func TestSharingDegenerateCases(t *testing.T) {
+	p := Sharing(1, 0.9)
+	if p.MoreThan1 != 0 {
+		t.Fatalf("one job cannot share: %+v", p)
+	}
+	p = Sharing(2, 1.0)
+	if math.Abs(p.MoreThan1-1.0) > 1e-9 {
+		t.Fatalf("two full-coverage jobs must share everything: %+v", p)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {5, 6, 0}, {5, -1, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
