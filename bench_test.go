@@ -110,3 +110,8 @@ func BenchmarkTable4OtherSystems(b *testing.B) { runExperiment(b, "table4", 8) }
 // BenchmarkAblation runs the design-choice ablations DESIGN.md calls out
 // (Formula-1 chunk sizing and fine-grained synchronization).
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation", 16) }
+
+// BenchmarkOpenLoop runs the open-arrival scenario: jobs admitted online by
+// the service layer at increasing Poisson rates, measuring how arrival
+// density drives load sharing.
+func BenchmarkOpenLoop(b *testing.B) { runExperiment(b, "openloop", 12) }

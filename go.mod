@@ -1,0 +1,3 @@
+module graphm
+
+go 1.23

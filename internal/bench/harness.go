@@ -74,6 +74,7 @@ var experiments = []experiment{
 	{"fig21", "distributed scalability (PowerGraph/Chaos)", (*Harness).fig21},
 	{"table4", "GraphChi/PowerGraph/Chaos integration", (*Harness).table4},
 	{"ablation", "design-choice ablations (chunk size, fine sync)", (*Harness).ablation},
+	{"openloop", "open-loop arrivals: online admission vs arrival rate", (*Harness).openloop},
 }
 
 // Experiments lists runnable experiment names in paper order.

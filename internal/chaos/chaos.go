@@ -114,10 +114,14 @@ func NewRunner(s *Scattered, net *cluster.Network, mem *storage.Memory, cache *m
 	return &Runner{S: s, Net: net, Mem: mem, Cache: cache, Cost: engine.DefaultCostModel()}
 }
 
-// RunSequential executes jobs one at a time (Chaos-S).
+// RunSequential executes jobs one at a time (Chaos-S): exactly one stream
+// occupies the NIC at any moment.
 func (r *Runner) RunSequential(jobs []*engine.Job) error {
 	for _, j := range jobs {
-		if err := r.runJob(j, false); err != nil {
+		stop := r.Net.StartStream()
+		err := r.runJob(j, false)
+		stop()
+		if err != nil {
 			return err
 		}
 	}
@@ -125,8 +129,20 @@ func (r *Runner) RunSequential(jobs []*engine.Job) error {
 }
 
 // RunConcurrent executes jobs simultaneously; every job streams its own
-// copy of every chunk over the shared NIC (Chaos-C).
+// copy of every chunk over the shared NIC (Chaos-C). All streams are
+// registered with the network up front: the simulation prices contention by
+// how many jobs share the link, not by accidental goroutine overlap (on a
+// single core short jobs serialize and the Table 4 penalty would vanish).
 func (r *Runner) RunConcurrent(jobs []*engine.Job) error {
+	stops := make([]func(), len(jobs))
+	for i := range jobs {
+		stops[i] = r.Net.StartStream()
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
@@ -155,8 +171,6 @@ func (r *Runner) runJob(j *engine.Job, perJobCopy bool) error {
 	r.Mem.ReserveJobData(state)
 	defer r.Mem.ReserveJobData(-state)
 
-	stop := r.Net.StartStream()
-	defer stop()
 	for iter := 0; j.Prog.BeforeIteration(iter); iter++ {
 		for _, c := range r.S.Chunks {
 			if len(c.Edges) == 0 {

@@ -38,17 +38,37 @@ type Session struct {
 	closed      bool
 }
 
+// SessionOptions tunes how a session's job interacts with the sharing
+// controller.
+type SessionOptions struct {
+	// JoinMidRound admits the job into a round already in flight instead of
+	// waiting at the round barrier: the job attaches at the next partition
+	// barrier and its already-passed active partitions are appended to the
+	// round order (the paper's dynamic-concurrency scenario, where jobs
+	// arrive at arbitrary times and join the ongoing graph stream). Jobs
+	// already waiting at the round barrier take precedence: while any job
+	// waits for a fresh round, joiners queue at the barrier instead of
+	// extending the in-flight round. Batch drivers keep this off so every
+	// round starts from a clean global table.
+	JoinMidRound bool
+}
+
 // OpenSession registers job with the sharing controller and returns its
 // session. The job joins rounds at its first BeginIteration. The caller
 // must eventually Close the session even on error paths; System.Wait blocks
 // until all sessions are closed.
 func (s *System) OpenSession(j *engine.Job) (*Session, error) {
+	return s.OpenSessionWith(j, SessionOptions{})
+}
+
+// OpenSessionWith is OpenSession with explicit options.
+func (s *System) OpenSessionWith(j *engine.Job, opts SessionOptions) (*Session, error) {
 	j.Bind(s.g)
 	state := j.Prog.StateBytes()
 	j.StateBase = s.mem.AllocAddr(state)
 	s.mem.ReserveJobData(state)
 
-	js := &jobState{job: j, born: s.snaps.currentVersion()}
+	js := &jobState{job: j, born: s.snaps.currentVersion(), joinMidRound: opts.JoinMidRound}
 	s.mu.Lock()
 	if _, dup := s.jobs[j.ID]; dup {
 		s.mu.Unlock()
@@ -72,9 +92,38 @@ func (sess *Session) BeginIteration() bool {
 	if !sess.js.job.Prog.BeforeIteration(sess.iter) || sess.s.Err() != nil {
 		return false
 	}
-	sess.s.beginIteration(sess.js)
+	if !sess.s.beginIteration(sess.js) {
+		return false
+	}
 	sess.inIteration = true
 	return true
+}
+
+// Detach asks the controller to withdraw the job from sharing: the session's
+// current (possibly suspended) or next Sharing call returns nil, and
+// BeginIteration returns false afterwards. Safe to call from any goroutine
+// while the session is live; the unhook itself happens at one of the job's
+// partition barriers, so other jobs' chunk lockstep is never disturbed. The
+// driver loop must still run to its natural end (Sharing-nil, EndIteration,
+// failed BeginIteration) and Close the session.
+func (sess *Session) Detach() {
+	s := sess.s
+	s.mu.Lock()
+	sess.js.detachWanted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Detached reports whether the controller honored a Detach request for this
+// session's job — i.e. the job actually withdrew before converging. A
+// Detach that lands after the job's last iteration never takes effect, and
+// Detached stays false; callers use this to tell a cancelled job from one
+// that finished naturally while the cancellation was in flight.
+func (sess *Session) Detached() bool {
+	s := sess.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.js.detached
 }
 
 // Sharing returns the next shared partition this job must process in the

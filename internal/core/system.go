@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"graphm/internal/chunk"
@@ -60,6 +61,28 @@ type Stats struct {
 	Resumes       uint64
 	SharedLoads   uint64 // partition loads served to more than one job
 	MetadataBytes int64  // chunk table overhead (Table 3 discussion)
+	// MidRoundJoins counts iteration joins into a round already in flight;
+	// a long-running JoinMidRound job counts once per attaching iteration,
+	// not once per admission.
+	MidRoundJoins uint64
+	Detaches      uint64 // jobs that withdrew from sharing before converging
+}
+
+// Sub returns the counter deltas accumulated between old and s. Sizing
+// fields that describe the graph rather than accumulate (ChunkBytes,
+// NumChunks, MetadataBytes) are carried over unchanged.
+func (s Stats) Sub(old Stats) Stats {
+	return Stats{
+		ChunkBytes:    s.ChunkBytes,
+		NumChunks:     s.NumChunks,
+		MetadataBytes: s.MetadataBytes,
+		Rounds:        s.Rounds - old.Rounds,
+		Suspensions:   s.Suspensions - old.Suspensions,
+		Resumes:       s.Resumes - old.Resumes,
+		SharedLoads:   s.SharedLoads - old.SharedLoads,
+		MidRoundJoins: s.MidRoundJoins - old.MidRoundJoins,
+		Detaches:      s.Detaches - old.Detaches,
+	}
 }
 
 // System is one GraphM instance bound to an engine layout. It is the
@@ -105,6 +128,15 @@ type System struct {
 type jobState struct {
 	job  *engine.Job
 	born int // snapshot version at submission (Section 3.3.2)
+
+	// joinMidRound lets the job attach to a round already in flight instead
+	// of waiting at the round barrier (SessionOptions.JoinMidRound).
+	joinMidRound bool
+	// detachWanted asks the job to withdraw from sharing; the job's next
+	// sharing() call (or its current suspended one) unhooks it from the
+	// controller and returns nil. detached records that the unhook ran.
+	detachWanted bool
+	detached     bool
 
 	ready bool
 	// inRound marks that the job participates in the round in flight; a job
@@ -250,10 +282,16 @@ func (s *System) Wait() error {
 
 // beginIteration implements GetActiveVertices() plus the round barrier: the
 // job publishes which partitions it needs (the global table of Section
-// 3.3.1) and waits for the controller to start a round that includes it.
-func (s *System) beginIteration(js *jobState) {
+// 3.3.1) and waits for the controller to start a round that includes it —
+// or, for JoinMidRound sessions, attaches to the round in flight. It returns
+// false when the job has been detached and must not start the iteration.
+func (s *System) beginIteration(js *jobState) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if js.detachWanted {
+		s.markDetachedLocked(js)
+		return false
+	}
 	js.active = make(map[int]bool)
 	act := js.job.Prog.Active()
 	for _, p := range s.parts {
@@ -265,13 +303,123 @@ func (s *System) beginIteration(js *jobState) {
 		}
 	}
 	js.processed = make(map[int]bool)
+	// Barrier-waiters take precedence over mid-round attachment: if any job
+	// is already waiting for a fresh round, attaching would keep extending
+	// the in-flight round and starve it, so the joiner queues at the
+	// barrier too and the round is allowed to drain.
+	if js.joinMidRound && s.roundActive && s.readyCount == 0 {
+		s.attachMidRoundLocked(js)
+		return true
+	}
 	js.ready = true
 	s.readyCount++
 	waitRound := s.round
 	s.maybeStartRoundLocked()
 	for s.err == nil && s.round == waitRound {
+		if js.detachWanted {
+			// Still waiting at the barrier: withdraw before the round forms,
+			// so the job is never counted as an attendee (and never billed a
+			// share of loads it would not stream).
+			js.ready = false
+			s.readyCount--
+			s.markDetachedLocked(js)
+			return false
+		}
 		s.cond.Wait()
 	}
+	return true
+}
+
+// markDetachedLocked records a job's withdrawal exactly once, whichever
+// path (round barrier, iteration start, or sharing) honors it.
+func (s *System) markDetachedLocked(js *jobState) {
+	if js.detached {
+		return
+	}
+	js.detached = true
+	s.stats.Detaches++
+}
+
+// attachMidRoundLocked splices a newly arrived job into the round in flight —
+// the paper's dynamic-concurrency scenario, where jobs submitted at arbitrary
+// times join the ongoing graph stream rather than waiting for it to wrap
+// around. The job starts picking partitions up at the next partition barrier;
+// any of its active partitions the stream has already passed (including the
+// one currently open, whose chunk lockstep cannot be joined midway) are
+// appended to the round order so the job still completes a full iteration.
+// Jobs that already processed an appended partition do not re-attend it:
+// attendance is recomputed from the processed sets each time a partition
+// opens.
+func (s *System) attachMidRoundLocked(js *jobState) {
+	js.ready = false
+	js.inRound = true
+	s.stats.MidRoundJoins++
+	// Compact the consumed prefix of the round order while appending: a
+	// continuously busy service can keep one round in flight indefinitely
+	// (each attaching iteration extends it), and the order must not grow
+	// with the round's lifetime — only with its outstanding work.
+	upcoming := append([]int(nil), s.order[s.pos+1:]...)
+	seen := make(map[int]bool, len(upcoming))
+	for _, pid := range upcoming {
+		seen[pid] = true
+	}
+	var missed []int
+	for pid := range js.active {
+		if !seen[pid] {
+			missed = append(missed, pid)
+		}
+	}
+	// Appended partitions keep a deterministic order; the Section 4 scheduler
+	// only ranks partitions known at round start.
+	sort.Ints(missed)
+	s.order = append(upcoming, missed...)
+	s.pos = -1
+	s.cond.Broadcast()
+}
+
+// detachLocked unhooks a job from the sharing controller mid-round. It is
+// only called from sharing(), i.e. at a partition barrier from the job's
+// perspective: the job is never streaming a partition at this point, so the
+// only controller state that can reference it is the pending set of the
+// partition currently open (opened after the job's last barrier). Removing
+// the job there re-evaluates the chunk barrier and the partition's remaining
+// count exactly as if the job had never attended.
+func (s *System) detachLocked(js *jobState) {
+	js.inRound = false
+	s.markDetachedLocked(js)
+	cp := s.cur
+	if cp == nil || !cp.pending[js.job.ID] {
+		s.cond.Broadcast()
+		return
+	}
+	delete(cp.pending, js.job.ID)
+	for i, a := range cp.attend {
+		if a == js {
+			cp.attend = append(cp.attend[:i], cp.attend[i+1:]...)
+			break
+		}
+	}
+	cp.remaining--
+	if cp.remaining == 0 {
+		// The job was the partition's only outstanding attendee.
+		s.advancePartitionLocked()
+		s.cond.Broadcast()
+		return
+	}
+	if cp.chunkIdx < len(cp.set.Chunks) {
+		if cp.leaderID == js.job.ID && !cp.leaderDone {
+			s.electLeaderLocked(cp)
+		}
+		// The job never contributed chunkDone calls, so its departure may
+		// satisfy the chunk barrier for the remaining attendees.
+		if cp.doneCount == len(cp.attend) {
+			cp.doneCount = 0
+			cp.chunkIdx++
+			cp.leaderDone = false
+			s.electLeaderLocked(cp)
+		}
+	}
+	s.cond.Broadcast()
 }
 
 // maybeStartRoundLocked starts a new round when every live job is waiting at
@@ -387,8 +535,16 @@ func (s *System) sharing(js *jobState) *curPartition {
 			return nil
 		}
 		if len(js.processed) >= len(js.active) {
+			// Iteration complete. Checked before detachWanted: a Detach
+			// racing the final Sharing call of a converged iteration must
+			// not mark the job detached — it is honored at the next
+			// BeginIteration instead, and never if the job converges first.
 			js.inRound = false
-			return nil // this job's iteration is complete
+			return nil
+		}
+		if js.detachWanted {
+			s.detachLocked(js)
+			return nil
 		}
 		if !s.roundActive {
 			// Round ended while the job still had unprocessed active

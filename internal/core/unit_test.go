@@ -48,6 +48,53 @@ func TestOrderPartitionsSkipsEmptyAttendance(t *testing.T) {
 	}
 }
 
+func TestOrderPartitionsEmptyAttendanceMap(t *testing.T) {
+	// A round with no attending jobs at all (every live job converged at the
+	// barrier) must produce an empty, non-nil-safe order in both modes.
+	for _, sched := range []bool{true, false} {
+		order := orderPartitions(map[int][]int{}, map[int]int{}, sched)
+		if len(order) != 0 {
+			t.Fatalf("scheduler=%v: order = %v, want empty", sched, order)
+		}
+	}
+}
+
+func TestOrderPartitionsAllZeroJobNP(t *testing.T) {
+	// Jobs reporting zero active partitions (a state only reachable through
+	// stale or inconsistent tables) must not panic or divide by zero: every
+	// priority degrades to ~0 and the pid tie-break keeps the order total
+	// and deterministic.
+	attend := map[int][]int{2: {1}, 0: {1, 2}, 1: {2}}
+	jobNP := map[int]int{1: 0, 2: 0}
+	order := orderPartitions(attend, jobNP, true)
+	if len(order) != 3 {
+		t.Fatalf("order has %d entries, want 3", len(order))
+	}
+	// All priorities equal: deterministic ascending-pid tie-break order.
+	for i, pid := range []int{0, 1, 2} {
+		if order[i] != pid {
+			t.Fatalf("order = %v, want ascending pid tie-break [0 1 2]", order)
+		}
+	}
+}
+
+func TestOrderPartitionsSchedulerDisabledIgnoresPriority(t *testing.T) {
+	// With the Section 4 strategy off, even a partition serving every job
+	// must not jump the engine's native ascending-ID order.
+	attend := map[int][]int{
+		0: {1},
+		1: {1},
+		7: {1, 2, 3, 4}, // highest priority, last natively
+	}
+	jobNP := map[int]int{1: 3, 2: 1, 3: 1, 4: 1}
+	order := orderPartitions(attend, jobNP, false)
+	for i, pid := range []int{0, 1, 7} {
+		if order[i] != pid {
+			t.Fatalf("order = %v, want [0 1 7]", order)
+		}
+	}
+}
+
 func TestProfilerSolvesTwoByTwo(t *testing.T) {
 	var p profiler
 	// T(F)=2, T(E)=0.5: t = 2*proc + 0.5*scan.

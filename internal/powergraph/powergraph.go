@@ -154,7 +154,10 @@ func NewRunner(p *Partitioned, net *cluster.Network, mem *storage.Memory, cache 
 // RunSequential executes jobs one at a time (PowerGraph-S).
 func (r *Runner) RunSequential(jobs []*engine.Job) error {
 	for _, j := range jobs {
-		if err := r.runJob(j, false); err != nil {
+		stop := r.Net.StartStream()
+		err := r.runJob(j, false)
+		stop()
+		if err != nil {
 			return err
 		}
 	}
@@ -162,8 +165,20 @@ func (r *Runner) RunSequential(jobs []*engine.Job) error {
 }
 
 // RunConcurrent executes jobs simultaneously with per-job fragment copies
-// in the distributed shared memory (PowerGraph-C).
+// in the distributed shared memory (PowerGraph-C). As in the chaos runner,
+// every stream is registered with the network up front so contention is
+// priced by how many jobs share the link, not by accidental goroutine
+// overlap.
 func (r *Runner) RunConcurrent(jobs []*engine.Job) error {
+	stops := make([]func(), len(jobs))
+	for i := range jobs {
+		stops[i] = r.Net.StartStream()
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
@@ -192,8 +207,6 @@ func (r *Runner) runJob(j *engine.Job, perJobCopy bool) error {
 	r.Mem.ReserveJobData(state)
 	defer r.Mem.ReserveJobData(-state)
 
-	stop := r.Net.StartStream()
-	defer stop()
 	sync := r.P.SyncBytesPerIteration()
 	for iter := 0; j.Prog.BeforeIteration(iter); iter++ {
 		for _, f := range r.P.Frags {
