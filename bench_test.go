@@ -39,6 +39,11 @@ func runExperiment(b *testing.B, name string, jobs int) {
 	}
 }
 
+// BenchmarkParallelExecutor runs the streaming-executor worker sweep: the
+// out-of-core workload at 1/2/4/8 real workers, reporting wall-clock
+// speedup, peak in-flight streams and the (flat) simulated makespan.
+func BenchmarkParallelExecutor(b *testing.B) { runExperiment(b, "parallel", 8) }
+
 // BenchmarkFig02Trace regenerates Figure 2 (the week-long job trace).
 func BenchmarkFig02Trace(b *testing.B) { runExperiment(b, "fig2", 16) }
 

@@ -1,0 +1,237 @@
+// Command benchgate turns `go test -bench` output into a committed JSON
+// fingerprint and gates CI on it: a benchmark that got more than the
+// allowed factor slower than the committed baseline fails the build.
+//
+//	go test -bench '...' -benchtime=3x -run '^$' . | benchgate parse -out BENCH_2.json
+//	benchgate compare -baseline BENCH_baseline.json -current BENCH_2.json -max-regress 1.25
+//
+// Raw ns/op is machine-dependent, so compare normalizes by default: every
+// current/baseline ratio is divided by the geometric mean of all ratios
+// before the threshold applies. A uniformly slower CI runner shifts every
+// ratio equally and normalizes away; a single experiment regressing against
+// the others does not. Pass -normalize=false for raw ratios (useful when
+// baseline and current come from the same machine).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is the persisted fingerprint of one bench run.
+type Result struct {
+	Note       string             `json:"note,omitempty"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	SourceArgs string             `json:"source_args,omitempty"`
+}
+
+var (
+	// One-line form: "BenchmarkFoo-8   3   123 ns/op".
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+	// Split form: the benchmark printed to stdout, so the name line and the
+	// "   3   123 ns/op" result line are separated by experiment output.
+	benchName   = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?(\s|$)`)
+	benchResult = regexp.MustCompile(`^\s*(\d+)\s+([0-9.]+) ns/op`)
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = runParse(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchgate parse [-out file] < bench-output")
+	fmt.Fprintln(os.Stderr, "       benchgate compare -baseline a.json -current b.json [-max-regress 1.25] [-normalize=true]")
+	os.Exit(2)
+}
+
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("out", "", "write JSON here instead of stdout")
+	note := fs.String("note", "", "free-form provenance note stored in the JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(res.NsPerOp) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	res.Note = *note
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(*out, blob, 0o644)
+}
+
+// parseBench extracts name -> ns/op from `go test -bench` output, keeping
+// the minimum across duplicate observations. Benchmarks that print to
+// stdout (ours render their experiment tables) split the name and the
+// result across lines, so the parser carries the last seen name forward.
+func parseBench(r io.Reader) (*Result, error) {
+	res := &Result{NsPerOp: map[string]float64{}}
+	record := func(name, nsText, line string) error {
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", line, err)
+		}
+		if prev, ok := res.NsPerOp[name]; !ok || ns < prev {
+			res.NsPerOp[name] = ns
+		}
+		return nil
+	}
+	pending := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			if err := record(m[1], m[3], line); err != nil {
+				return nil, err
+			}
+			pending = ""
+			continue
+		}
+		if m := benchName.FindStringSubmatch(line); m != nil {
+			pending = m[1]
+			continue
+		}
+		if m := benchResult.FindStringSubmatch(line); m != nil && pending != "" {
+			if err := record(pending, m[2], line); err != nil {
+				return nil, err
+			}
+			pending = ""
+		}
+	}
+	return res, sc.Err()
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "committed baseline JSON")
+	curPath := fs.String("current", "", "freshly parsed JSON")
+	maxRegress := fs.Float64("max-regress", 1.25, "fail when a (normalized) ratio exceeds this")
+	normalize := fs.Bool("normalize", true, "divide ratios by their geometric mean to factor out machine speed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *curPath == "" {
+		return fmt.Errorf("compare needs -baseline and -current")
+	}
+	base, err := loadResult(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadResult(*curPath)
+	if err != nil {
+		return err
+	}
+	report, failed := compare(base, cur, *maxRegress, *normalize)
+	fmt.Print(report)
+	if failed {
+		return fmt.Errorf("performance regression beyond %.0f%%", (*maxRegress-1)*100)
+	}
+	return nil
+}
+
+func loadResult(path string) (*Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(blob, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &res, nil
+}
+
+// compare renders a ratio table and reports whether any shared benchmark
+// regressed beyond maxRegress.
+func compare(base, cur *Result, maxRegress float64, normalize bool) (string, bool) {
+	var shared []string
+	for name := range cur.NsPerOp {
+		if _, ok := base.NsPerOp[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	sort.Strings(shared)
+	out := ""
+	if len(shared) == 0 && len(base.NsPerOp) == 0 {
+		return "benchgate: empty baseline — nothing gated\n", false
+	}
+	scale := 1.0
+	if normalize && len(shared) > 0 {
+		logSum := 0.0
+		for _, name := range shared {
+			logSum += math.Log(cur.NsPerOp[name] / base.NsPerOp[name])
+		}
+		scale = math.Exp(logSum / float64(len(shared)))
+		out += fmt.Sprintf("machine-speed factor (geomean current/baseline): %.3f\n", scale)
+	}
+	failed := false
+	for _, name := range shared {
+		ratio := cur.NsPerOp[name] / base.NsPerOp[name] / scale
+		verdict := "ok"
+		if ratio > maxRegress {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		out += fmt.Sprintf("%-40s baseline %14.0f ns/op  current %14.0f ns/op  ratio %5.2f  %s\n",
+			name, base.NsPerOp[name], cur.NsPerOp[name], ratio, verdict)
+	}
+	var extra, missing []string
+	for name := range cur.NsPerOp {
+		if _, ok := base.NsPerOp[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	for name := range base.NsPerOp {
+		if _, ok := cur.NsPerOp[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(extra)
+	sort.Strings(missing)
+	for _, name := range extra {
+		out += fmt.Sprintf("%-40s new benchmark (not in baseline; commit a refreshed baseline to gate it)\n", name)
+	}
+	// A baseline benchmark absent from the current run means the gate lost
+	// coverage (most likely the benchmark crashed before reporting) — that
+	// must fail the build, not silently shrink the gated set.
+	for _, name := range missing {
+		out += fmt.Sprintf("%-40s MISSING from current run\n", name)
+		failed = true
+	}
+	return out, failed
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: graphm
+BenchmarkFig03Motivation-8   	       3	 578921012 ns/op
+BenchmarkFig03Motivation-8   	       3	 600000000 ns/op
+BenchmarkTable3Preprocess 	       1	 327797443 ns/op
+BenchmarkParallelExecutor-4 	       3	6404019132 ns/op	 120 B/op	       2 allocs/op
+PASS
+ok  	graphm	65.1s
+`
+
+const splitOutput = `goos: linux
+BenchmarkParallelExecutor 	== parallel executor: 8 jobs, uk-union (out-of-core), worker sweep ==
+workers  wall    speedup
+1        2.903s  1.00x
+note: sim makespan prices counted work
+       3	6413956881 ns/op
+BenchmarkTable3Preprocess 	== Table 3 ==
+rows here
+       3	 327071091 ns/op
+PASS
+`
+
+// TestParseBenchSplitLines covers benchmarks that print experiment tables,
+// separating the name line from the ns/op result line.
+func TestParseBenchSplitLines(t *testing.T) {
+	res, err := parseBench(strings.NewReader(splitOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkParallelExecutor": 6413956881,
+		"BenchmarkTable3Preprocess": 327071091,
+	}
+	if len(res.NsPerOp) != len(want) {
+		t.Fatalf("parsed %+v, want %+v", res.NsPerOp, want)
+	}
+	for name, ns := range want {
+		if res.NsPerOp[name] != ns {
+			t.Fatalf("%s = %v, want %v", name, res.NsPerOp[name], ns)
+		}
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFig03Motivation":  578921012, // min of the two lines
+		"BenchmarkTable3Preprocess": 327797443,
+		"BenchmarkParallelExecutor": 6404019132,
+	}
+	if len(res.NsPerOp) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %+v", len(res.NsPerOp), len(want), res.NsPerOp)
+	}
+	for name, ns := range want {
+		if res.NsPerOp[name] != ns {
+			t.Fatalf("%s = %v, want %v", name, res.NsPerOp[name], ns)
+		}
+	}
+}
+
+func TestCompareDetectsSingleRegression(t *testing.T) {
+	base := &Result{NsPerOp: map[string]float64{"A": 100, "B": 100, "C": 100}}
+	cur := &Result{NsPerOp: map[string]float64{"A": 100, "B": 100, "C": 200}}
+	report, failed := compare(base, cur, 1.25, true)
+	if !failed {
+		t.Fatalf("2x regression of C not caught:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("report lacks verdict:\n%s", report)
+	}
+}
+
+func TestCompareNormalizesUniformSlowdown(t *testing.T) {
+	// A CI runner that is uniformly 2x slower must not fail the gate.
+	base := &Result{NsPerOp: map[string]float64{"A": 100, "B": 300, "C": 50}}
+	cur := &Result{NsPerOp: map[string]float64{"A": 200, "B": 600, "C": 100}}
+	report, failed := compare(base, cur, 1.25, true)
+	if failed {
+		t.Fatalf("uniform 2x slowdown flagged as regression:\n%s", report)
+	}
+}
+
+func TestCompareRawRatios(t *testing.T) {
+	base := &Result{NsPerOp: map[string]float64{"A": 100, "B": 100}}
+	cur := &Result{NsPerOp: map[string]float64{"A": 140, "B": 140}}
+	if _, failed := compare(base, cur, 1.25, false); !failed {
+		t.Fatal("raw mode missed a 40% regression")
+	}
+	if _, failed := compare(base, cur, 1.5, false); failed {
+		t.Fatal("raw mode failed under threshold")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	// A baseline benchmark absent from the current run (e.g. it crashed
+	// before reporting) must fail the gate, not shrink it silently.
+	base := &Result{NsPerOp: map[string]float64{"A": 100, "B": 100}}
+	cur := &Result{NsPerOp: map[string]float64{"A": 100}}
+	report, failed := compare(base, cur, 1.25, true)
+	if !failed {
+		t.Fatalf("missing benchmark did not fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report should name the missing benchmark:\n%s", report)
+	}
+	// New benchmarks in the current run are advisory, not failures.
+	base = &Result{NsPerOp: map[string]float64{"A": 100}}
+	cur = &Result{NsPerOp: map[string]float64{"A": 100, "New": 50}}
+	if report, failed := compare(base, cur, 1.25, true); failed {
+		t.Fatalf("new benchmark failed the gate:\n%s", report)
+	}
+}
+
+func TestCompareEmptyBaseline(t *testing.T) {
+	base := &Result{NsPerOp: map[string]float64{}}
+	cur := &Result{NsPerOp: map[string]float64{"New": 100}}
+	report, failed := compare(base, cur, 1.25, true)
+	if failed {
+		t.Fatalf("empty baseline must not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "nothing gated") {
+		t.Fatalf("report should flag the empty baseline:\n%s", report)
+	}
+}

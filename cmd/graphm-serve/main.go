@@ -41,6 +41,7 @@ func main() {
 		inflight  = flag.Int("max-inflight", 8, "admission bound on concurrently streaming jobs")
 		queueCap  = flag.Int("queue", 64, "per-tenant queue capacity (backpressure beyond it)")
 		cores     = flag.Int("cores", 8, "simulated core count")
+		workers   = flag.Int("workers", 0, "real-concurrency width of the streaming executor (0 = legacy serial driver)")
 		seed      = flag.Int64("seed", 42, "arrival and parameter seed")
 		quietFlag = flag.Bool("q", false, "suppress the per-ticket table")
 	)
@@ -60,6 +61,7 @@ func main() {
 	}
 	cfg := core.DefaultConfig(env.Spec.LLCBytes)
 	cfg.Cores = *cores
+	cfg.Workers = *workers
 	sys, err := core.NewSystem(env.Grid.AsLayout(), mem, cache, cfg)
 	if err != nil {
 		fatal(err)
@@ -102,12 +104,13 @@ func main() {
 
 	if !*quietFlag {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "job\ttenant\talgo\tstatus\tqueue wait\truntime\titers\tshared loads seen")
+		fmt.Fprintln(tw, "job\ttenant\talgo\tstatus\tqueue wait\truntime(real)\tsim time\titers\tshared loads seen")
 		for _, tk := range tickets {
 			st := tk.Wait()
-			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
 				tk.ID, tk.Tenant, tk.Algo, st,
 				tk.QueueWait().Round(time.Microsecond), tk.Runtime().Round(time.Microsecond),
+				tk.SimRuntime().Round(time.Microsecond),
 				tk.Job().Met.Iterations, tk.StatsDelta().SharedLoads)
 		}
 		tw.Flush()

@@ -19,4 +19,21 @@
 // or, experiment by experiment:
 //
 //	go run ./cmd/graphm-bench -list
+//
+// # The parallel streaming executor
+//
+// Simulated time (the figures) is priced from counted work and does not
+// depend on real parallelism. Real wall-clock does: with
+// core.Config.Workers >= 1 the round controller stops letting each job's
+// goroutine stream its own chunks serially and instead hands (job, chunk)
+// work items to a per-round pool of Workers goroutines, while an async
+// prefetcher double-buffers the next scheduled partition's load from
+// storage under the current partition's compute. The FineSync
+// chunk-lockstep across attending jobs and the one-in-flight-chunk-per-job
+// rule are preserved, so workers=1 reproduces the legacy serial schedule
+// (and workers=0, the default, *is* the legacy driver — simulated results
+// are unchanged); more workers only move work earlier in wall-clock time.
+// The `parallel` bench experiment sweeps the worker count and CI gates
+// ns/op regressions against the committed BENCH_baseline.json (see
+// README.md, "CI").
 package graphm

@@ -75,6 +75,7 @@ var experiments = []experiment{
 	{"table4", "GraphChi/PowerGraph/Chaos integration", (*Harness).table4},
 	{"ablation", "design-choice ablations (chunk size, fine sync)", (*Harness).ablation},
 	{"openloop", "open-loop arrivals: online admission vs arrival rate", (*Harness).openloop},
+	{"parallel", "streaming-executor worker sweep: wall-clock speedup vs workers", (*Harness).parallel},
 }
 
 // Experiments lists runnable experiment names in paper order.

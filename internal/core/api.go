@@ -34,6 +34,14 @@ func (s *System) ChunkCount(pid int) int {
 // ChunkBytes returns the Formula (1) chunk size chosen at Init time.
 func (s *System) ChunkBytes() int64 { return s.stats.ChunkBytes }
 
+// ResolvedCores returns the core count the system was sized for: Config.Cores,
+// with zero resolved to runtime.GOMAXPROCS(0) at NewSystem time.
+func (s *System) ResolvedCores() int { return s.cores }
+
+// Workers returns the streaming executor's real-concurrency width (0 means
+// the legacy serial driver).
+func (s *System) Workers() int { return s.workers }
+
 // ActivePartitions reports which partitions a job with the given active
 // bitmap would need — the GetActiveVertices() step. It is exposed so engine
 // integrations and tests can inspect the global-table inputs.

@@ -1,0 +1,428 @@
+package core_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/jobs"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+// execConfig returns a DefaultConfig with the executor enabled at w workers.
+func execConfig(llc int64, w int) core.Config {
+	cfg := core.DefaultConfig(llc)
+	cfg.Workers = w
+	return cfg
+}
+
+// rotationJobs builds a deterministic 4-algorithm rotation.
+func rotationJobs(n int, seed int64) []*engine.Job {
+	return jobs.Rotation(n, seed).Jobs
+}
+
+func TestConfigValidation(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("v", 128, 800, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(64 << 10)
+	cfg.Cores = -1
+	if _, err := newRigErr(t, g, cfg); err == nil {
+		t.Fatal("negative Cores accepted")
+	}
+	cfg = core.DefaultConfig(64 << 10)
+	cfg.Workers = -2
+	if _, err := newRigErr(t, g, cfg); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	// Cores == 0 resolves to GOMAXPROCS(0) instead of erroring.
+	cfg = core.DefaultConfig(64 << 10)
+	cfg.Cores = 0
+	sys, err := newRigErr(t, g, cfg)
+	if err != nil {
+		t.Fatalf("Cores=0 rejected: %v", err)
+	}
+	if got, want := sys.ResolvedCores(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Cores=0 resolved to %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestExecutorMatchesLegacyWork runs one workload under the legacy driver
+// and under the executor at 1 and 4 workers: the schedule-independent work
+// counters (what was streamed, processed, how the rounds composed) must be
+// identical — real parallelism changes when work happens, never how much.
+func TestExecutorMatchesLegacyWork(t *testing.T) {
+	type outcome struct {
+		scanned, processed, iters uint64
+		rounds                    int
+		shared                    uint64
+	}
+	run := func(workers int) outcome {
+		cfg := core.DefaultConfig(64 << 10)
+		cfg.Workers = workers
+		r := newRig(t, 512, 4000, 4, cfg)
+		js := rotationJobs(6, 99)
+		if err := r.sys.Run(js); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var o outcome
+		for _, j := range js {
+			o.scanned += j.Met.ScannedEdges
+			o.processed += j.Met.ProcessedEdges
+			o.iters += j.Met.Iterations
+		}
+		st := r.sys.StatsSnapshot()
+		o.rounds = st.Rounds
+		o.shared = st.SharedLoads
+		return o
+	}
+	legacy := run(0)
+	for _, w := range []int{1, 4} {
+		got := run(w)
+		if got != legacy {
+			t.Fatalf("workers=%d outcome %+v != legacy %+v", w, got, legacy)
+		}
+	}
+}
+
+// TestExecutorPageRankCorrect checks numerical results survive the pool.
+func TestExecutorPageRankCorrect(t *testing.T) {
+	ranksFor := func(workers int) []float64 {
+		cfg := execConfig(64<<10, workers)
+		r := newRig(t, 256, 2000, 4, cfg)
+		pr := algorithms.NewPageRank(0.85, 6)
+		pr.Tolerance = 1e-12
+		if err := r.sys.Run([]*engine.Job{engine.NewJob(1, pr, 7)}); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Ranks()
+	}
+	serial := ranksFor(1)
+	pooled := ranksFor(4)
+	if len(serial) != len(pooled) {
+		t.Fatalf("rank lengths differ: %d vs %d", len(serial), len(pooled))
+	}
+	for i := range serial {
+		if diff := serial[i] - pooled[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("rank[%d] differs: %v vs %v", i, serial[i], pooled[i])
+		}
+	}
+}
+
+// sleepProg is an edge program whose per-edge work is real blocking time,
+// so wall-clock speedup from the worker pool is measurable even on a
+// single-core machine: sleeping jobs overlap where computing jobs cannot.
+type sleepProg struct {
+	perEdge time.Duration
+	iters   int
+	active  *engine.Bitmap
+	iter    int
+}
+
+func (p *sleepProg) Name() string { return "sleep" }
+func (p *sleepProg) Reset(g *graph.Graph, _ *rand.Rand) {
+	p.active = engine.NewBitmap(g.NumV)
+	p.active.SetAll()
+}
+func (p *sleepProg) BeforeIteration(iter int) bool { return iter < p.iters }
+func (p *sleepProg) ProcessEdge(e graph.Edge) bool {
+	time.Sleep(p.perEdge)
+	return false
+}
+func (p *sleepProg) AfterIteration(iter int) { p.iter = iter + 1 }
+func (p *sleepProg) Active() *engine.Bitmap  { return p.active }
+func (p *sleepProg) StateBytes() int64       { return 64 }
+func (p *sleepProg) EdgeCost() float64       { return 1 }
+
+// TestExecutorOverlapsBlockingJobs is the wall-clock acceptance check in
+// miniature: four jobs whose edge functions block must overlap on a 4-worker
+// pool. The FineSync schedule per chunk is leader + 3 followers; followers
+// overlap, so the 4-worker wall-clock must land well under the serial one
+// regardless of core count.
+func TestExecutorOverlapsBlockingJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// 8 single-out-edge sources: 8 ProcessEdge calls per job per iteration.
+	var edges []graph.Edge
+	for i := 0; i < 8; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 8), Weight: 1})
+	}
+	g := graph.MustNew("sleepy", 16, edges)
+	elapsed := func(workers int) time.Duration {
+		cfg := execConfig(256<<10, workers)
+		r := newRigWithGraph(t, g, 1, cfg)
+		var js []*engine.Job
+		for id := 1; id <= 4; id++ {
+			js = append(js, engine.NewJob(id, &sleepProg{perEdge: 2 * time.Millisecond, iters: 3}, int64(id)))
+		}
+		start := time.Now()
+		if err := r.sys.Run(js); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := elapsed(1)
+	pooled := elapsed(4)
+	// Ideal is ~2x (leader phase is serial, follower phase fully overlaps);
+	// require 1.5x with margin for scheduler noise.
+	if ratio := float64(serial) / float64(pooled); ratio < 1.5 {
+		t.Fatalf("4-worker wall %v vs serial %v: speedup %.2fx < 1.5x", pooled, serial, ratio)
+	}
+}
+
+// rangeProg is a one-iteration program whose active sources span [lo, hi) —
+// it attends exactly the partitions covering that source range.
+type rangeProg struct {
+	lo, hi int
+	active *engine.Bitmap
+}
+
+func (p *rangeProg) Name() string { return "range" }
+func (p *rangeProg) Reset(g *graph.Graph, _ *rand.Rand) {
+	p.active = engine.NewBitmap(g.NumV)
+	for v := p.lo; v < p.hi && v < g.NumV; v++ {
+		p.active.Set(v)
+	}
+}
+func (p *rangeProg) BeforeIteration(iter int) bool { return iter < 1 }
+func (p *rangeProg) ProcessEdge(e graph.Edge) bool { return false }
+func (p *rangeProg) AfterIteration(iter int)       {}
+func (p *rangeProg) Active() *engine.Bitmap        { return p.active }
+func (p *rangeProg) StateBytes() int64             { return 64 }
+func (p *rangeProg) EdgeCost() float64             { return 1 }
+
+// blockGraph builds a 16-vertex graph with edges in all four 2x2-grid
+// blocks, so a p=2 grid yields two partitions per source block.
+func blockGraph() *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < 8; i++ {
+		edges = append(edges,
+			graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 1) % 8), Weight: 1},
+			graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(8 + i), Weight: 1},
+			graph.Edge{Src: graph.VertexID(8 + i), Dst: graph.VertexID(i), Weight: 1},
+			graph.Edge{Src: graph.VertexID(8 + i), Dst: graph.VertexID(8 + (i+1)%8), Weight: 1},
+		)
+	}
+	return graph.MustNew("blocks", 16, edges)
+}
+
+// TestPrefetchCancelMidRoundDetach: job A attends only the source-block-0
+// partitions while job B attends everything; the prefetcher runs one
+// partition ahead, so by the time B withdraws mid-round there is an
+// in-flight (or just-started) load for a B-only partition that loses its
+// last attendee — the stream must skip the partition and cancel the load,
+// returning the pinned buffer. Whichever of A and B leaves the shared
+// prefix last, at least one B-only prefetch is invalidated.
+func TestPrefetchCancelMidRoundDetach(t *testing.T) {
+	g := blockGraph()
+	r := newRigWithGraph(t, g, 2, execConfig(256<<10, 2))
+	r.sys.Submit(engine.NewJob(1, &rangeProg{lo: 0, hi: 8}, 1))
+	jB := engine.NewJob(2, &rangeProg{lo: 0, hi: 16}, 2)
+	sessB, err := r.sys.OpenSession(jB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer sessB.Close()
+		for sessB.BeginIteration() {
+			barriers := 0
+			for {
+				sp := sessB.Sharing()
+				if sp == nil {
+					break
+				}
+				sp.ProcessAll()
+				sp.Barrier()
+				barriers++
+				if barriers == 2 {
+					// Both shared (block-0) partitions done: withdraw while
+					// the B-only block-1 partitions are still ahead of the
+					// stream and already being prefetched.
+					sessB.Detach()
+				}
+			}
+			sessB.EndIteration()
+		}
+	}()
+	if err := r.sys.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.sys.StatsSnapshot()
+	if st.Detaches != 1 {
+		t.Fatalf("detaches = %d, want 1", st.Detaches)
+	}
+	if st.Prefetches == 0 {
+		t.Fatal("prefetcher never started")
+	}
+	if st.PrefetchCancels == 0 {
+		t.Fatal("mid-round detach canceled no prefetch")
+	}
+	if st.PrefetchHits+st.PrefetchCancels != st.Prefetches {
+		t.Fatalf("prefetch accounting leak: %d started, %d claimed + %d canceled",
+			st.Prefetches, st.PrefetchHits, st.PrefetchCancels)
+	}
+	// Every partition buffer must be unpinned once the system is idle —
+	// canceled prefetches released theirs.
+	for _, p := range r.grid.AsLayout().Partitions() {
+		if n := r.mem.PinCount(p.DiskName); n != 0 {
+			t.Fatalf("partition %s still pinned %d times after Wait", p.DiskName, n)
+		}
+	}
+}
+
+// TestPrefetchFollowsMidRoundAttach: a JoinMidRound arrival rewrites the
+// round order (missed partitions are appended); the prefetcher must re-aim
+// at the rewritten order and keep its accounting exact.
+func TestPrefetchFollowsMidRoundAttach(t *testing.T) {
+	r := newRig(t, 512, 4000, 4, execConfig(64<<10, 2))
+	// A's blocking edge function keeps the round in flight long enough for
+	// B's admission to land mid-round deterministically.
+	jA := engine.NewJob(1, &sleepProg{perEdge: 50 * time.Microsecond, iters: 2}, 1)
+	r.sys.Submit(jA)
+	// Give A a head start so B genuinely attaches mid-round.
+	time.Sleep(5 * time.Millisecond)
+	jB := engine.NewJob(2, algorithms.NewPageRank(0.85, 3), 2)
+	sessB, err := r.sys.OpenSessionWith(jB, core.SessionOptions{JoinMidRound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer sessB.Close()
+		for sessB.BeginIteration() {
+			for {
+				sp := sessB.Sharing()
+				if sp == nil {
+					break
+				}
+				sp.ProcessAll()
+				sp.Barrier()
+			}
+			sessB.EndIteration()
+		}
+	}()
+	if err := r.sys.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.sys.StatsSnapshot()
+	if st.MidRoundJoins == 0 {
+		t.Fatal("B never attached mid-round — the reorder path was not exercised")
+	}
+	if st.Prefetches == 0 {
+		t.Fatal("prefetcher never started")
+	}
+	if st.PrefetchHits+st.PrefetchCancels != st.Prefetches {
+		t.Fatalf("prefetch accounting leak after reorder: %d started, %d claimed + %d canceled",
+			st.Prefetches, st.PrefetchHits, st.PrefetchCancels)
+	}
+	for _, p := range r.grid.AsLayout().Partitions() {
+		if n := r.mem.PinCount(p.DiskName); n != 0 {
+			t.Fatalf("partition %s still pinned %d times after Wait", p.DiskName, n)
+		}
+	}
+}
+
+// TestExecutorDisablePrefetch: the pool runs, the prefetcher does not.
+func TestExecutorDisablePrefetch(t *testing.T) {
+	cfg := execConfig(64<<10, 2)
+	cfg.DisablePrefetch = true
+	r := newRig(t, 256, 2000, 4, cfg)
+	if err := r.sys.Run(rotationJobs(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := r.sys.StatsSnapshot()
+	if st.Prefetches != 0 {
+		t.Fatalf("prefetcher ran %d loads with DisablePrefetch", st.Prefetches)
+	}
+	if st.PeakParallelStreams == 0 {
+		t.Fatal("worker pool never streamed")
+	}
+}
+
+// TestExecutorStressMidRoundAttach is the work-stealing stress: a 4-worker
+// pool, jobs attaching mid-round while rounds are in flight, random
+// detaches — run under -race in CI. The invariant checked here is clean
+// completion with exact prefetch accounting.
+func TestExecutorStressMidRoundAttach(t *testing.T) {
+	r := newRig(t, 512, 6000, 4, execConfig(64<<10, 4))
+	// A long-running anchor keeps rounds in flight while others churn.
+	anchor := algorithms.NewPageRank(0.85, 8)
+	r.sys.Submit(engine.NewJob(100, anchor, 1))
+
+	var canceled atomic.Int32
+	done := make(chan struct{}, 12)
+	for i := 0; i < 12; i++ {
+		id := i + 1
+		go func() {
+			defer func() { done <- struct{}{} }()
+			time.Sleep(time.Duration(id%4) * time.Millisecond)
+			j := engine.NewJob(id, jobs.NewProgram([]string{"pagerank", "wcc", "bfs", "sssp"}[id%4], rand.New(rand.NewSource(int64(id)))), int64(id))
+			sess, err := r.sys.OpenSessionWith(j, core.SessionOptions{JoinMidRound: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			iter := 0
+			for sess.BeginIteration() {
+				for {
+					sp := sess.Sharing()
+					if sp == nil {
+						break
+					}
+					sp.ProcessAll()
+					sp.Barrier()
+				}
+				sess.EndIteration()
+				iter++
+				if id%3 == 0 && iter == 1 {
+					sess.Detach()
+					canceled.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		<-done
+	}
+	if err := r.sys.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.sys.StatsSnapshot()
+	if st.MidRoundJoins == 0 {
+		t.Fatal("no mid-round joins — stress did not exercise attach")
+	}
+	if st.PrefetchHits+st.PrefetchCancels != st.Prefetches {
+		t.Fatalf("prefetch accounting leak: %d started, %d claimed + %d canceled",
+			st.Prefetches, st.PrefetchHits, st.PrefetchCancels)
+	}
+	if canceled.Load() > 0 && st.Detaches == 0 {
+		t.Fatal("detaches requested but none recorded")
+	}
+}
+
+// newRigErr is newRigWithGraph without the fatal-on-error behaviour, for
+// validation tests.
+func newRigErr(t *testing.T, g *graph.Graph, cfg core.Config) (*core.System, error) {
+	t.Helper()
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 4, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := storage.NewMemory(disk, 64<<20)
+	cache, err := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewSystem(grid.AsLayout(), mem, cache, cfg)
+}

@@ -235,6 +235,30 @@ func (sp *SharedPartition) Process() {
 	s.recordSample(sp.sess.js, st)
 }
 
+// ProcessAll applies every chunk of the partition for this job and returns
+// when the job's share of the partition is fully streamed. With the parallel
+// executor enabled (Config.Workers >= 1) the chunks become work items on the
+// round's worker pool — the FineSync lockstep and per-job serialization are
+// preserved, but real concurrency across attending jobs is bounded by the
+// worker count instead of one goroutine per job. Without the executor it is
+// exactly the serial Next/Process loop. Call Barrier afterwards as usual;
+// drivers that need custom per-chunk handling keep using Next/Process/Edges
+// directly, which interoperates with pool-driven jobs on the same lockstep.
+func (sp *SharedPartition) ProcessAll() {
+	if sp.done {
+		return
+	}
+	s := sp.sess.s
+	if s.execEnabled() {
+		s.processAll(sp.sess.js, sp.cp)
+		sp.done = true
+		return
+	}
+	for sp.Next() {
+		sp.Process()
+	}
+}
+
 // Report feeds externally measured streaming stats to the profiler, for
 // engines that consumed Edges() directly instead of calling Process.
 func (sp *SharedPartition) Report(st engine.StreamStats) {

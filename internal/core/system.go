@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -15,8 +16,24 @@ import (
 // Config tunes a GraphM instance.
 type Config struct {
 	// Cores bounds the number of chunks being streamed simultaneously
-	// (N of Formula 1). Zero means GOMAXPROCS-unbounded.
+	// (N of Formula 1). Zero resolves to runtime.GOMAXPROCS(0); negative
+	// values are rejected by NewSystem.
 	Cores int
+	// Workers sets the real-concurrency width of the streaming executor:
+	// the number of OS goroutines that apply chunk work items each round.
+	// Zero keeps the legacy driver, in which each job's goroutine streams
+	// its own chunks serially — the mode every simulated-time experiment
+	// runs in, so existing results are unchanged. Workers >= 1 routes
+	// Submit-driven jobs (and Session.ProcessAll callers) through the
+	// per-round worker pool with async partition prefetch; workers=1
+	// executes the same chunk schedule serially, so simulated work counters
+	// match the legacy driver while wall-clock scales with Workers beyond
+	// it. Negative values are rejected by NewSystem.
+	Workers int
+	// DisablePrefetch turns off the executor's async partition prefetcher
+	// (double-buffering the next scheduled partition's load). Only
+	// meaningful when Workers >= 1; used by ablations and tests.
+	DisablePrefetch bool
 	// LLCBytes is C_LLC of Formula (1) — the simulated LLC capacity.
 	LLCBytes int64
 	// Reserved is r of Formula (1).
@@ -66,22 +83,40 @@ type Stats struct {
 	// not once per admission.
 	MidRoundJoins uint64
 	Detaches      uint64 // jobs that withdrew from sharing before converging
+	// Prefetches counts async partition loads started by the executor's
+	// prefetcher; PrefetchHits the ones claimed by the partition they were
+	// started for; PrefetchCancels the ones invalidated before use (the
+	// scheduler reordered the round, the partition lost its attendees, or
+	// the round ended).
+	Prefetches      uint64
+	PrefetchHits    uint64
+	PrefetchCancels uint64
+	// PeakParallelStreams is the high-water mark of chunk applications in
+	// flight at once on the executor's worker pool — the structural proof
+	// of real concurrency (wall-clock speedup additionally needs the cores
+	// to run them on). Zero under the legacy serial driver.
+	PeakParallelStreams int
 }
 
 // Sub returns the counter deltas accumulated between old and s. Sizing
 // fields that describe the graph rather than accumulate (ChunkBytes,
-// NumChunks, MetadataBytes) are carried over unchanged.
+// NumChunks, MetadataBytes) and high-water marks (PeakParallelStreams) are
+// carried over unchanged.
 func (s Stats) Sub(old Stats) Stats {
 	return Stats{
-		ChunkBytes:    s.ChunkBytes,
-		NumChunks:     s.NumChunks,
-		MetadataBytes: s.MetadataBytes,
-		Rounds:        s.Rounds - old.Rounds,
-		Suspensions:   s.Suspensions - old.Suspensions,
-		Resumes:       s.Resumes - old.Resumes,
-		SharedLoads:   s.SharedLoads - old.SharedLoads,
-		MidRoundJoins: s.MidRoundJoins - old.MidRoundJoins,
-		Detaches:      s.Detaches - old.Detaches,
+		ChunkBytes:          s.ChunkBytes,
+		NumChunks:           s.NumChunks,
+		MetadataBytes:       s.MetadataBytes,
+		PeakParallelStreams: s.PeakParallelStreams,
+		Rounds:              s.Rounds - old.Rounds,
+		Suspensions:         s.Suspensions - old.Suspensions,
+		Resumes:             s.Resumes - old.Resumes,
+		SharedLoads:         s.SharedLoads - old.SharedLoads,
+		MidRoundJoins:       s.MidRoundJoins - old.MidRoundJoins,
+		Detaches:            s.Detaches - old.Detaches,
+		Prefetches:          s.Prefetches - old.Prefetches,
+		PrefetchHits:        s.PrefetchHits - old.PrefetchHits,
+		PrefetchCancels:     s.PrefetchCancels - old.PrefetchCancels,
 	}
 }
 
@@ -104,6 +139,11 @@ type System struct {
 	snaps *snapshotStore
 	sem   chan struct{}
 
+	// cores is cfg.Cores resolved (0 -> runtime.GOMAXPROCS(0)); workers is
+	// cfg.Workers verbatim (0 = legacy serial driver).
+	cores   int
+	workers int
+
 	mu   sync.Mutex
 	cond *sync.Cond
 	err  error
@@ -117,6 +157,17 @@ type System struct {
 	order       []int
 	pos         int
 	cur         *curPartition
+
+	// execQueue holds dispatched chunk work items awaiting a pool worker;
+	// inFlight counts items currently being applied. Both guarded by mu
+	// (see executor.go).
+	execQueue []execItem
+	inFlight  int
+
+	// pf is the in-flight async load of partition pfPID, double-buffering
+	// the next scheduled partition while the current one streams.
+	pf    *storage.PrefetchHandle
+	pfPID int
 
 	sharedTE float64 // T(E), profiled once per graph (Section 3.4.2)
 
@@ -165,6 +216,13 @@ type curPartition struct {
 	leaderID   int
 	leaderDone bool
 	doneCount  int
+
+	// Pool-driven attendees (executor mode): jobs whose chunk loop runs as
+	// work items on the round's worker pool rather than in their own
+	// goroutine. execJobs keeps arrival order for deterministic dispatch at
+	// workers=1; execByID indexes it by job ID.
+	execJobs []*execJob
+	execByID map[int]*execJob
 }
 
 // NewSystem is GraphM's Init(): it sizes chunks with Formula (1) and labels
@@ -178,9 +236,15 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 	if cfg.VertexPay <= 0 {
 		cfg.VertexPay = 8
 	}
+	if cfg.Cores < 0 {
+		return nil, fmt.Errorf("core: Cores must be >= 0 (0 means GOMAXPROCS-unbounded), got %d", cfg.Cores)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers must be >= 0 (0 means the legacy serial driver), got %d", cfg.Workers)
+	}
 	cores := cfg.Cores
-	if cores <= 0 {
-		cores = 4
+	if cores == 0 {
+		cores = runtime.GOMAXPROCS(0)
 	}
 	sc, err := chunk.ChunkSize(chunk.SizeParams{
 		NumCores:  cores,
@@ -205,9 +269,15 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 		sets:     make(map[int]*chunk.Set),
 		snaps:    newSnapshotStore(),
 		jobs:     make(map[int]*jobState),
+		cores:    cores,
+		workers:  cfg.Workers,
+		pfPID:    -1,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	if cfg.Cores > 0 {
+	if cfg.Cores > 0 && !s.execEnabled() {
+		// The legacy driver throttles concurrent chunk streams with a
+		// semaphore; the executor bounds real concurrency with its worker
+		// count instead.
 		s.sem = make(chan struct{}, cfg.Cores)
 	}
 	s.stats.ChunkBytes = sc
@@ -250,15 +320,15 @@ func (s *System) Submit(j *engine.Job) {
 	go func() {
 		defer sess.Close()
 		// The StreamEdges loop of Figure 6(b), over the session API.
+		// ProcessAll applies the partition's chunks — serially here, or as
+		// work items on the round's worker pool when Config.Workers >= 1.
 		for sess.BeginIteration() {
 			for {
 				sp := sess.Sharing()
 				if sp == nil {
 					break
 				}
-				for sp.Next() {
-					sp.Process()
-				}
+				sp.ProcessAll()
 				sp.Barrier()
 			}
 			sess.EndIteration()
@@ -374,6 +444,9 @@ func (s *System) attachMidRoundLocked(js *jobState) {
 	sort.Ints(missed)
 	s.order = append(upcoming, missed...)
 	s.pos = -1
+	// The rewrite may have changed which partition streams next: re-aim the
+	// prefetcher (canceling an invalidated in-flight load).
+	s.startPrefetchLocked()
 	s.cond.Broadcast()
 }
 
@@ -409,14 +482,12 @@ func (s *System) detachLocked(js *jobState) {
 	if cp.chunkIdx < len(cp.set.Chunks) {
 		if cp.leaderID == js.job.ID && !cp.leaderDone {
 			s.electLeaderLocked(cp)
+			s.dispatchLocked(cp)
 		}
 		// The job never contributed chunkDone calls, so its departure may
 		// satisfy the chunk barrier for the remaining attendees.
 		if cp.doneCount == len(cp.attend) {
-			cp.doneCount = 0
-			cp.chunkIdx++
-			cp.leaderDone = false
-			s.electLeaderLocked(cp)
+			s.advanceChunkLocked(cp)
 		}
 	}
 	s.cond.Broadcast()
@@ -453,13 +524,17 @@ func (s *System) startRoundLocked() {
 	s.order = orderPartitions(attend, jobNP, s.cfg.Scheduler)
 	s.pos = -1
 	s.roundActive = true
+	s.startWorkersLocked()
 	s.advancePartitionLocked()
 	s.cond.Broadcast()
 }
 
 // advancePartitionLocked releases the current shared buffer and opens the
 // next partition in the round's order that still has attending jobs; when
-// the order is exhausted the round ends.
+// the order is exhausted the round ends. In executor mode it claims the
+// prefetched buffer when the pipeline predicted correctly, cancels it when
+// the round was reordered under it, and kicks off the next prefetch before
+// handing the partition to the pool.
 func (s *System) advancePartitionLocked() {
 	if s.cur != nil {
 		s.cur.buf.Release()
@@ -469,6 +544,7 @@ func (s *System) advancePartitionLocked() {
 		s.pos++
 		if s.pos >= len(s.order) {
 			s.roundActive = false
+			s.cancelPrefetchLocked()
 			s.cond.Broadcast()
 			return
 		}
@@ -480,11 +556,35 @@ func (s *System) advancePartitionLocked() {
 			}
 		}
 		if len(att) == 0 {
+			// A prefetch for a partition whose attendees all detached or
+			// finished is useless: drop it before skipping the partition.
+			if s.pf != nil && s.pfPID == pid {
+				s.cancelPrefetchLocked()
+			}
 			continue
 		}
+		// Deterministic attendee order: leader tie-breaks and workers=1
+		// dispatch order must not depend on map iteration.
+		sort.Slice(att, func(i, j int) bool { return att[i].job.ID < att[j].job.ID })
 		part := s.partByID[pid]
-		// Algorithm 2, lines 8–13: one shared buffer per partition.
-		buf, io, err := s.mem.Load(part.DiskName, part.DiskName)
+		// Algorithm 2, lines 8–13: one shared buffer per partition — claimed
+		// from the prefetcher when it loaded the right one, synchronously
+		// otherwise.
+		var (
+			buf *storage.Buffer
+			io  storage.IOKind
+			err error
+		)
+		if s.pf != nil && s.pfPID == pid {
+			buf, io, err = s.pf.Claim()
+			s.pf, s.pfPID = nil, -1
+			if err == nil {
+				s.stats.PrefetchHits++
+			}
+		} else {
+			s.cancelPrefetchLocked()
+			buf, io, err = s.mem.Load(part.DiskName, part.DiskName)
+		}
 		if err != nil {
 			s.failLocked(fmt.Errorf("core: loading partition %d: %w", pid, err))
 			return
@@ -496,7 +596,7 @@ func (s *System) advancePartitionLocked() {
 				share += s.cfg.LoadHook(len(buf.Data), len(att))
 			}
 			for _, js := range att {
-				js.job.Met.SimIONS += share
+				js.job.AddMetrics(engine.Metrics{SimIONS: share})
 			}
 		}
 		if len(att) > 1 {
@@ -509,16 +609,69 @@ func (s *System) advancePartitionLocked() {
 			attend:    att,
 			pending:   make(map[int]bool, len(att)),
 			remaining: len(att),
+			execByID:  make(map[int]*execJob, len(att)),
 		}
 		for _, js := range att {
 			cp.pending[js.job.ID] = true
-			js.job.Met.PartitionLoads++
+			js.job.AddMetrics(engine.Metrics{PartitionLoads: 1})
 		}
 		s.electLeaderLocked(cp)
 		s.cur = cp
+		s.startPrefetchLocked()
 		s.cond.Broadcast()
 		return
 	}
+}
+
+// startPrefetchLocked double-buffers the pipeline: it begins the async load
+// of the next partition in the round order that still has an attending job,
+// canceling a stale in-flight prefetch first. No-op outside executor mode.
+func (s *System) startPrefetchLocked() {
+	if !s.prefetchEnabled() {
+		return
+	}
+	next := -1
+	for i := s.pos + 1; i < len(s.order); i++ {
+		if s.hasAttendeeLocked(s.order[i]) {
+			next = s.order[i]
+			break
+		}
+	}
+	if next < 0 {
+		s.cancelPrefetchLocked()
+		return
+	}
+	if s.pf != nil {
+		if s.pfPID == next {
+			return
+		}
+		s.cancelPrefetchLocked()
+	}
+	part := s.partByID[next]
+	s.pf = s.mem.Prefetch(part.DiskName, part.DiskName)
+	s.pfPID = next
+	s.stats.Prefetches++
+}
+
+// cancelPrefetchLocked abandons the in-flight prefetch, if any, returning
+// its pinned buffer to the pool.
+func (s *System) cancelPrefetchLocked() {
+	if s.pf == nil {
+		return
+	}
+	s.pf.Cancel()
+	s.pf, s.pfPID = nil, -1
+	s.stats.PrefetchCancels++
+}
+
+// hasAttendeeLocked reports whether any in-round job still needs pid.
+func (s *System) hasAttendeeLocked(pid int) bool {
+	for _, js := range s.jobs {
+		if js.inRound && js.active[pid] && !js.processed[pid] {
+			return true
+		}
+	}
+	return false
 }
 
 // sharing is the Sharing() API of Table 1 / Algorithm 2 from the job's side:
@@ -586,17 +739,34 @@ func (s *System) awaitChunk(js *jobState, cp *curPartition, k int) bool {
 func (s *System) chunkDone(js *jobState, cp *curPartition) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.chunkDoneLocked(js, cp)
+}
+
+// chunkDoneLocked records one job's completion of the current chunk. It is
+// shared by the legacy Next/Process path and the executor's work items, so
+// pool-driven and self-driven sessions interoperate on one lockstep.
+func (s *System) chunkDoneLocked(js *jobState, cp *curPartition) {
 	if cp.leaderID == js.job.ID {
 		cp.leaderDone = true
+		// The leader pulled the chunk into the LLC: followers may stream it
+		// now, including any pool-driven ones awaiting dispatch.
+		s.dispatchLocked(cp)
 	}
 	cp.doneCount++
 	if cp.doneCount == len(cp.attend) {
-		cp.doneCount = 0
-		cp.chunkIdx++
-		cp.leaderDone = false
-		s.electLeaderLocked(cp)
+		s.advanceChunkLocked(cp)
 	}
 	s.cond.Broadcast()
+}
+
+// advanceChunkLocked closes the current chunk (every attendee done), opens
+// the next one, and re-elects its leader.
+func (s *System) advanceChunkLocked(cp *curPartition) {
+	cp.doneCount = 0
+	cp.chunkIdx++
+	cp.leaderDone = false
+	s.electLeaderLocked(cp)
+	s.dispatchLocked(cp)
 }
 
 // electLeaderLocked picks the attending job with the highest Formula (4)
@@ -635,7 +805,7 @@ func (s *System) streamChunk(js *jobState, cp *curPartition, k int) engine.Strea
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 	}
-	return engine.StreamEdges(js.job, edges, base, first, s.cache, s.cost)
+	return js.job.ApplyChunk(edges, base, first, s.cache, s.cost)
 }
 
 // recordSample accumulates Formula (2) observations for the profiler.
@@ -699,5 +869,6 @@ func (s *System) failLocked(err error) {
 		s.err = err
 	}
 	s.roundActive = false
+	s.cancelPrefetchLocked()
 	s.cond.Broadcast()
 }

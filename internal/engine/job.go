@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"graphm/internal/graph"
@@ -46,7 +47,14 @@ type Job struct {
 	ID   int
 	Prog Program
 	Ctr  memsim.Counters
-	Met  Metrics
+	// Met aggregates the job's work counters. Concurrent writers must go
+	// through AddMetrics (ApplyChunk does); reading the struct directly is
+	// only safe once the job is quiescent (Done, or between rounds).
+	Met Metrics
+	// metMu guards Met against concurrent AddMetrics calls — the streaming
+	// executor applies disjoint chunks of a job from pool workers while the
+	// sharing controller bills amortized I/O shares from its own goroutine.
+	metMu sync.Mutex
 
 	// StateBase is the simulated base address of the job-specific data S;
 	// distinct per job, so jobs never share S lines in the LLC (only G).
@@ -85,12 +93,34 @@ type StreamStats struct {
 	Elapsed   time.Duration // wall-clock, used by the profiling phase
 }
 
+// AddMetrics accumulates delta into the job's metrics under the job's
+// metric lock. All metric writers on a potentially concurrent path
+// (ApplyChunk workers, the sharing controller's I/O billing) use it so the
+// counters stay exact whichever goroutine applies a chunk.
+func (j *Job) AddMetrics(delta Metrics) {
+	j.metMu.Lock()
+	j.Met.Add(delta)
+	j.metMu.Unlock()
+}
+
 // StreamEdges streams edges[first:first+n] of a partition buffer for job j:
 // every edge is scanned (touching its cache line at baseAddr), and edges
 // whose source is active are processed through the program, touching the
 // job's state lines for both endpoints. It updates the job's metrics and
 // returns per-call stats for the synchronization manager's profiler.
 func StreamEdges(j *Job, edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
+	return j.ApplyChunk(edges, baseAddr, first, cache, cm)
+}
+
+// ApplyChunk is the job's chunk-apply entry: it streams one chunk's edges
+// through the program with full LLC instrumentation and metric accounting.
+// It is safe for concurrent invocation over disjoint chunks in the sense
+// that all job bookkeeping (Met, Ctr) is synchronized; vertex-state safety
+// is the caller's contract — the streaming executor serializes a job's
+// chunks (only ever one ApplyChunk in flight per job), because ProcessEdge
+// mutates per-vertex state that disjoint chunks may share through common
+// destinations.
+func (j *Job) ApplyChunk(edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
 	start := time.Now()
 	active := j.Prog.Active()
 	var st StreamStats
@@ -126,9 +156,11 @@ func StreamEdges(j *Job, edges []graph.Edge, baseAddr uint64, first int, cache *
 		computeNS += cm.WorkNS * cost
 	}
 	st.Elapsed = time.Since(start)
-	j.Met.ScannedEdges += st.Scanned
-	j.Met.ProcessedEdges += st.Processed
-	j.Met.SimMemNS += uint64(accessNS)
-	j.Met.SimComputeNS += uint64(computeNS)
+	j.AddMetrics(Metrics{
+		ScannedEdges:   st.Scanned,
+		ProcessedEdges: st.Processed,
+		SimMemNS:       uint64(accessNS),
+		SimComputeNS:   uint64(computeNS),
+	})
 	return st
 }

@@ -258,7 +258,9 @@ func (s *Service) removeTenantLocked(tenant string) {
 
 // drive runs one admitted job against the sharing controller: the
 // StreamEdges loop of Figure 6(b) over the session API, with lifecycle
-// transitions layered on.
+// transitions layered on. ProcessAll streams each partition serially on the
+// legacy driver and through the round's worker pool when the underlying
+// system runs the parallel executor (core.Config.Workers >= 1).
 func (s *Service) drive(t *Ticket) {
 	defer s.wg.Done()
 	t.mu.Lock()
@@ -271,9 +273,7 @@ func (s *Service) drive(t *Ticket) {
 			if sp == nil {
 				break
 			}
-			for sp.Next() {
-				sp.Process()
-			}
+			sp.ProcessAll()
 			sp.Barrier()
 		}
 		sess.EndIteration()
@@ -304,6 +304,7 @@ func (s *Service) finish(t *Ticket) {
 	t.status = final
 	t.doneAt = time.Now()
 	t.statsDelta = delta.Sub(t.statsAtAdmit)
+	t.simNS = t.job.Met.SimTotalNS()
 	t.mu.Unlock()
 	close(t.done)
 	switch final {

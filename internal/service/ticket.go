@@ -123,6 +123,11 @@ type Ticket struct {
 
 	statsAtAdmit core.Stats
 	statsDelta   core.Stats
+
+	// simNS is the job's simulated execution time, captured when the ticket
+	// turns terminal so callers can put the cost-model time next to the
+	// real elapsed Runtime.
+	simNS uint64
 }
 
 func newTicket(id int, tenant, algo string, prog engine.Program, seed int64) *Ticket {
@@ -185,7 +190,9 @@ func (t *Ticket) QueueWait() time.Duration {
 	return t.admittedAt.Sub(t.queuedAt)
 }
 
-// Runtime returns the admission-to-terminal duration (zero until terminal).
+// Runtime returns the real (wall-clock) admission-to-terminal duration —
+// what the executor's actual parallelism delivers on this machine. Zero
+// until terminal.
 func (t *Ticket) Runtime() time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -193,6 +200,16 @@ func (t *Ticket) Runtime() time.Duration {
 		return 0
 	}
 	return t.doneAt.Sub(t.admittedAt)
+}
+
+// SimRuntime returns the job's simulated execution time under the cost
+// model (compute + memory + amortized I/O) — the paper's reported quantity,
+// independent of how many real workers streamed the chunks. Zero until the
+// ticket is terminal.
+func (t *Ticket) SimRuntime() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.simNS)
 }
 
 func (t *Ticket) setStreaming() {

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPrefetchCanceled is returned by Claim when the handle was canceled
+// before ownership of the buffer was transferred.
+var ErrPrefetchCanceled = errors.New("storage: prefetch canceled")
+
+// PrefetchHandle is an in-flight asynchronous Load. Exactly one of Claim or
+// Cancel must eventually be called, from at most one goroutine each; the
+// handle owns the pinned buffer until Claim transfers it to the caller or
+// Cancel releases it. GraphM's streaming executor double-buffers with it:
+// while the current partition streams through the worker pool, the next
+// scheduled partition loads under a handle, and a scheduler reorder (or the
+// partition losing its last attendee) cancels the now-useless load instead
+// of pinning a buffer nobody will stream.
+type PrefetchHandle struct {
+	key  string
+	done chan struct{}
+
+	mu       sync.Mutex
+	buf      *Buffer
+	kind     IOKind
+	err      error
+	claimed  bool
+	canceled bool
+}
+
+// Prefetch starts an asynchronous Load of (key, diskName) on a background
+// goroutine and returns immediately. The load pins the buffer exactly as
+// Load does; ownership transfers to the caller at Claim, or back to the pool
+// at Cancel.
+func (m *Memory) Prefetch(key, diskName string) *PrefetchHandle {
+	h := &PrefetchHandle{key: key, done: make(chan struct{})}
+	go func() {
+		buf, kind, err := m.Load(key, diskName)
+		h.mu.Lock()
+		h.buf, h.kind, h.err = buf, kind, err
+		h.mu.Unlock()
+		close(h.done)
+	}()
+	return h
+}
+
+// Key returns the buffer key the handle is loading.
+func (h *PrefetchHandle) Key() string { return h.key }
+
+// Ready reports whether the background load has completed (successfully or
+// not) without blocking.
+func (h *PrefetchHandle) Ready() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Claim waits for the load to finish and transfers the pinned buffer to the
+// caller, which must Release it like any Load result. Claiming a canceled
+// handle returns ErrPrefetchCanceled.
+func (h *PrefetchHandle) Claim() (*Buffer, IOKind, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.canceled {
+		return nil, IONone, ErrPrefetchCanceled
+	}
+	h.claimed = true
+	return h.buf, h.kind, h.err
+}
+
+// Cancel abandons the prefetch: it waits for the in-flight load to settle
+// and releases the buffer back to the pool. Idempotent; a no-op after Claim.
+func (h *PrefetchHandle) Cancel() {
+	h.mu.Lock()
+	if h.claimed || h.canceled {
+		h.mu.Unlock()
+		return
+	}
+	h.canceled = true
+	h.mu.Unlock()
+	<-h.done
+	h.mu.Lock()
+	buf := h.buf
+	h.buf = nil
+	h.mu.Unlock()
+	if buf != nil {
+		buf.Release()
+	}
+}
+
+// PinCount returns the number of live references to key's resident buffer,
+// 0 when the buffer is unpinned or not resident. Exposed for the prefetch
+// lifecycle tests and leak diagnostics.
+func (m *Memory) PinCount(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if buf, ok := m.resident[key]; ok {
+		return buf.refs
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func prefetchPool(t *testing.T) *Memory {
+	t.Helper()
+	disk := NewDisk()
+	disk.Write("p0", bytes.Repeat([]byte{1}, 1024))
+	disk.Write("p1", bytes.Repeat([]byte{2}, 2048))
+	return NewMemory(disk, 1<<20)
+}
+
+func TestPrefetchClaimTransfersPin(t *testing.T) {
+	m := prefetchPool(t)
+	h := m.Prefetch("p0", "p0")
+	buf, kind, err := h.Claim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != IOCold {
+		t.Fatalf("first load kind = %v, want IOCold", kind)
+	}
+	if len(buf.Data) != 1024 || buf.Data[0] != 1 {
+		t.Fatalf("claimed wrong blob: %d bytes", len(buf.Data))
+	}
+	if n := m.PinCount("p0"); n != 1 {
+		t.Fatalf("pin count after claim = %d, want 1", n)
+	}
+	buf.Release()
+	if n := m.PinCount("p0"); n != 0 {
+		t.Fatalf("pin count after release = %d, want 0", n)
+	}
+	// Cancel after Claim is a no-op, not a double release.
+	h.Cancel()
+	if n := m.PinCount("p0"); n != 0 {
+		t.Fatalf("pin count after post-claim cancel = %d, want 0", n)
+	}
+}
+
+func TestPrefetchCancelReleasesBuffer(t *testing.T) {
+	m := prefetchPool(t)
+	h := m.Prefetch("p1", "p1")
+	h.Cancel()
+	if n := m.PinCount("p1"); n != 0 {
+		t.Fatalf("pin count after cancel = %d, want 0", n)
+	}
+	// Cancel is idempotent.
+	h.Cancel()
+	if _, _, err := h.Claim(); err != ErrPrefetchCanceled {
+		t.Fatalf("claim after cancel = %v, want ErrPrefetchCanceled", err)
+	}
+	// The blob stays resident and unpinned: a later Load rehits.
+	before := m.Rehits()
+	buf, kind, err := m.Load("p1", "p1")
+	if err != nil || kind != IONone {
+		t.Fatalf("reload = kind %v err %v, want resident rehit", kind, err)
+	}
+	if m.Rehits() != before+1 {
+		t.Fatal("canceled prefetch did not leave the buffer resident")
+	}
+	buf.Release()
+}
+
+func TestPrefetchErrorPropagates(t *testing.T) {
+	m := prefetchPool(t)
+	h := m.Prefetch("nope", "nope")
+	if _, _, err := h.Claim(); err == nil {
+		t.Fatal("claim of missing blob succeeded")
+	}
+	// Cancel after a failed load must not panic (no buffer to release).
+	h2 := m.Prefetch("nope", "nope")
+	h2.Cancel()
+}
