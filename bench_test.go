@@ -44,6 +44,12 @@ func runExperiment(b *testing.B, name string, jobs int) {
 // speedup, peak in-flight streams and the (flat) simulated makespan.
 func BenchmarkParallelExecutor(b *testing.B) { runExperiment(b, "parallel", 8) }
 
+// BenchmarkAdaptive runs the adaptive chunk re-labelling experiment: the
+// deterministic attach/detach ramp under static vs partition-barrier
+// re-labelled chunking, comparing simulated LLC misses with bit-identical
+// outputs.
+func BenchmarkAdaptive(b *testing.B) { runExperiment(b, "adaptive", 14) }
+
 // BenchmarkFig02Trace regenerates Figure 2 (the week-long job trace).
 func BenchmarkFig02Trace(b *testing.B) { runExperiment(b, "fig2", 16) }
 

@@ -7,6 +7,7 @@ import (
 
 	"graphm/internal/graph"
 	"graphm/internal/jobs"
+	"graphm/internal/scenario"
 )
 
 // smallHarness keeps experiment runs fast in unit tests.
@@ -36,7 +37,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	names := Experiments()
 	want := []string{"fig2", "fig3", "fig4", "table3", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-		"table4", "ablation", "openloop", "parallel"}
+		"table4", "ablation", "openloop", "parallel", "adaptive"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(names), len(want))
 	}
@@ -187,6 +188,51 @@ func TestParallelExperimentRuns(t *testing.T) {
 	// Four sweep rows (workers 1/2/4/8), each with a speedup cell like "1.00x".
 	if got := len(regexp.MustCompile(`\d+\.\d{2}x`).FindAllString(out, -1)); got != 4 {
 		t.Fatalf("expected 4 speedup cells, found %d in output:\n%s", got, out)
+	}
+}
+
+// TestAdaptiveExperimentWinsOnMisses is the PR's acceptance criterion: on
+// the attach/detach ramp, adaptive re-labelling must produce fewer simulated
+// LLC misses than the static labelling while the algorithm outputs stay
+// bit-identical. The ramp's measured margin is ~15% with a few percent of
+// run-to-run noise, so a strict less-than is asserted rather than a factor.
+func TestAdaptiveExperimentWinsOnMisses(t *testing.T) {
+	h := smallHarness(&strings.Builder{})
+	static, err := h.adaptiveRun(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := h.adaptiveRun(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.res.Stats.Relabels == 0 {
+		t.Fatal("adaptive ramp never re-labelled")
+	}
+	if static.res.Stats.Relabels != 0 {
+		t.Fatalf("static run re-labelled %d times", static.res.Stats.Relabels)
+	}
+	if adaptive.res.CacheMisses >= static.res.CacheMisses {
+		t.Fatalf("adaptive misses %d not below static %d", adaptive.res.CacheMisses, static.res.CacheMisses)
+	}
+	if err := scenario.CheckWorkEqual(static.res, adaptive.res); err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.CheckOutputsEqual(static.res, adaptive.res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveExperimentTable(t *testing.T) {
+	var buf strings.Builder
+	if err := smallHarness(&buf).Run("adaptive"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"adaptive chunk re-labelling", "static", "adaptive", "bit-identical across modes: yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("adaptive table missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden table-layout files")
+
+// goldenExperiments are the experiments whose rendered table layout is
+// pinned by golden files. Chosen to cover the three table generations —
+// a motivation figure, the trace-similarity figure, and the new adaptive
+// experiment — while staying cheap enough for the unit-test suite.
+var goldenExperiments = []string{"fig2", "fig4", "adaptive"}
+
+var (
+	numberRun = regexp.MustCompile(`[0-9]+`)
+	spaceRun  = regexp.MustCompile(`[ \t]+`)
+)
+
+// normalizeTable masks every numeric token and collapses the padding that
+// tracks value widths, so the golden files pin the *layout* — titles,
+// headers, row and column counts, notes — under a fixed seed, while
+// timing-dependent cells (wall clocks, counter noise) cannot flap the test.
+func normalizeTable(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		line = numberRun.ReplaceAllString(line, "#")
+		line = spaceRun.ReplaceAllString(line, " ")
+		out = append(out, strings.TrimRight(line, " "))
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestGoldenTableLayouts fails loudly when an experiment's table formatting
+// drifts: changed headers, lost rows or columns, reworded notes. Refresh
+// intentionally with `go test ./internal/bench -run TestGolden -update`.
+func TestGoldenTableLayouts(t *testing.T) {
+	for _, name := range goldenExperiments {
+		t.Run(name, func(t *testing.T) {
+			var buf strings.Builder
+			h := smallHarness(&buf)
+			if err := h.Run(name); err != nil {
+				t.Fatal(err)
+			}
+			got := normalizeTable(buf.String())
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("table layout for %q drifted from %s.\n--- got ---\n%s\n--- want ---\n%s",
+					name, path, got, string(want))
+			}
+		})
+	}
+}
+
+// TestNormalizeTable pins the normalizer itself: masked numbers, collapsed
+// padding, preserved structure.
+func TestNormalizeTable(t *testing.T) {
+	in := "== t ==\na    bb\n1    22.5ms\nnote: 95% at 1.5x\n"
+	want := "== t ==\na bb\n# #.#ms\nnote: #% at #.#x\n"
+	if got := normalizeTable(in); got != want {
+		t.Fatalf("normalize = %q, want %q", got, want)
+	}
+}

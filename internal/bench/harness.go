@@ -76,6 +76,7 @@ var experiments = []experiment{
 	{"ablation", "design-choice ablations (chunk size, fine sync)", (*Harness).ablation},
 	{"openloop", "open-loop arrivals: online admission vs arrival rate", (*Harness).openloop},
 	{"parallel", "streaming-executor worker sweep: wall-clock speedup vs workers", (*Harness).parallel},
+	{"adaptive", "adaptive chunk re-labelling: static vs barrier-relabelled chunking on an attach/detach ramp", (*Harness).adaptive},
 }
 
 // Experiments lists runnable experiment names in paper order.

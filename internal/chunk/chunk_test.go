@@ -63,6 +63,200 @@ func TestChunkSizeClampsToMinimum(t *testing.T) {
 	}
 }
 
+// TestChunkSizeTable drives Formula (1) through its edge cases: degenerate
+// parameters, a tiny LLC clamping to one alignment unit, alignment rounding,
+// and an N so large the formula would yield less than one aligned unit.
+func TestChunkSizeTable(t *testing.T) {
+	align := int64(192) // lcm(EdgeSize=12, cache line 64)
+	cases := []struct {
+		name    string
+		p       SizeParams
+		want    int64 // exact expected size; -1 means "any valid aligned size"
+		wantErr bool
+	}{
+		{name: "zero params", p: SizeParams{}, wantErr: true},
+		{name: "zero cores", p: SizeParams{LLCBytes: 1 << 20, GraphSize: 1 << 20, NumV: 10}, wantErr: true},
+		{name: "negative cores", p: SizeParams{NumCores: -2, LLCBytes: 1 << 20, GraphSize: 1 << 20, NumV: 10}, wantErr: true},
+		{name: "zero LLC", p: SizeParams{NumCores: 1, GraphSize: 1 << 20, NumV: 10}, wantErr: true},
+		{name: "reserved exceeds LLC", p: SizeParams{NumCores: 4, LLCBytes: 1024, GraphSize: 1 << 20, NumV: 100, VertexPay: 8, Reserved: 2048}, wantErr: true},
+		{name: "reserved equals LLC", p: SizeParams{NumCores: 4, LLCBytes: 2048, GraphSize: 1 << 20, NumV: 100, VertexPay: 8, Reserved: 2048}, wantErr: true},
+		{
+			// LLC smaller than one aligned unit per core: clamps up to the
+			// minimum so degenerate configurations still stream.
+			name: "tiny LLC clamps to alignment",
+			p:    SizeParams{NumCores: 16, LLCBytes: 4096, GraphSize: 1 << 30, NumV: 1 << 20, VertexPay: 8, Reserved: 0},
+			want: align,
+		},
+		{
+			// N far beyond what the LLC can hold one aligned unit each for —
+			// the formula still returns the clamped minimum, never zero.
+			name: "N exceeds chunk capacity",
+			p:    SizeParams{NumCores: 1 << 20, LLCBytes: 1 << 20, GraphSize: 1 << 30, NumV: 1 << 20, VertexPay: 8},
+			want: align,
+		},
+		{
+			// No vertex term (VertexPay 0): S_c = avail/N rounded down to the
+			// alignment; 1 MB over 4 cores is 262144, which rounds to 262080.
+			name: "alignment rounding",
+			p:    SizeParams{NumCores: 4, LLCBytes: 1 << 20, GraphSize: 1 << 30, NumV: 1, VertexPay: 0},
+			want: (1 << 20) / 4 / align * align,
+		},
+		{
+			name: "single core whole LLC",
+			p:    SizeParams{NumCores: 1, LLCBytes: 1 << 20, GraphSize: 1 << 30, NumV: 1, VertexPay: 0},
+			want: (1 << 20) / align * align,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ChunkSize(tc.p)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ChunkSize(%+v) = %d, want error", tc.p, sc)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ChunkSize(%+v): %v", tc.p, err)
+			}
+			if sc%align != 0 || sc < align {
+				t.Fatalf("ChunkSize(%+v) = %d, not a positive multiple of %d", tc.p, sc, align)
+			}
+			if tc.want >= 0 && sc != tc.want {
+				t.Fatalf("ChunkSize(%+v) = %d, want %d", tc.p, sc, tc.want)
+			}
+		})
+	}
+}
+
+// TestChunkSizeHalvesWithConcurrency pins the property adaptive re-labelling
+// relies on: S_c scales as 1/N, so doubling the attending jobs halves the
+// chunk (up to alignment rounding).
+func TestChunkSizeHalvesWithConcurrency(t *testing.T) {
+	base := SizeParams{LLCBytes: 1 << 20, GraphSize: 1 << 28, NumV: 1 << 16, VertexPay: 8, Reserved: 1 << 16}
+	prev := int64(0)
+	for _, n := range []int{1, 2, 4, 8} {
+		p := base
+		p.NumCores = n
+		sc, err := ChunkSize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && (sc > prev/2 || sc <= 0) {
+			t.Fatalf("N=%d: S_c=%d not at most half of N=%d's %d", n, sc, n/2, prev)
+		}
+		prev = sc
+	}
+}
+
+func TestLabelSingleEdgePartition(t *testing.T) {
+	set := Label(3, []graph.Edge{{Src: 7, Dst: 9, Weight: 1}}, 960)
+	if set.NumChunks() != 1 {
+		t.Fatalf("single-edge partition labelled with %d chunks, want 1", set.NumChunks())
+	}
+	c := set.Chunks[0]
+	if c.FirstEdge != 0 || c.NumEdges != 1 || len(c.Entries) != 1 {
+		t.Fatalf("bad single-edge chunk: %+v", c)
+	}
+	if c.OutCount(7) != 1 || c.OutCount(9) != 0 {
+		t.Fatalf("OutCount wrong: N+(7)=%d N+(9)=%d", c.OutCount(7), c.OutCount(9))
+	}
+}
+
+func TestLabelChunkSmallerThanEdge(t *testing.T) {
+	// A chunk size below one edge still yields one-edge chunks, never zero.
+	edges := []graph.Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	set := Label(0, edges, 1)
+	if set.NumChunks() != 2 {
+		t.Fatalf("chunks = %d, want 2 one-edge chunks", set.NumChunks())
+	}
+	for i, c := range set.Chunks {
+		if c.NumEdges != 1 {
+			t.Fatalf("chunk %d holds %d edges, want 1", i, c.NumEdges)
+		}
+	}
+}
+
+func TestRelabelPreservesCoverageAndBumpsEpoch(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("r", 128, 1500, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := Label(2, g.Edges, 40*graph.EdgeSize)
+	nw := old.Relabel(g.Edges, 10*graph.EdgeSize)
+	if nw.Epoch != old.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", nw.Epoch, old.Epoch+1)
+	}
+	if nw.PartitionID != old.PartitionID {
+		t.Fatalf("partition ID changed: %d -> %d", old.PartitionID, nw.PartitionID)
+	}
+	if old.NumChunks() >= nw.NumChunks() {
+		t.Fatalf("shrinking the chunk did not increase chunk count: %d -> %d", old.NumChunks(), nw.NumChunks())
+	}
+	total, next := 0, 0
+	for i, c := range nw.Chunks {
+		if c.FirstEdge != next {
+			t.Fatalf("chunk %d starts at %d, want %d", i, c.FirstEdge, next)
+		}
+		next += c.NumEdges
+		total += c.NumEdges
+	}
+	if total != len(g.Edges) {
+		t.Fatalf("relabelled chunks cover %d edges, want %d", total, len(g.Edges))
+	}
+}
+
+func TestSplitStreamRoundTrips(t *testing.T) {
+	mk := func(n int) []graph.Edge {
+		out := make([]graph.Edge, n)
+		for i := range out {
+			out[i] = graph.Edge{Src: uint32(i), Dst: uint32(i + 1)}
+		}
+		return out
+	}
+	cases := []struct {
+		name       string
+		streamLen  int
+		chunkBytes int64
+		numChunks  int
+	}{
+		{"exact fit", 40, 10 * graph.EdgeSize, 4},
+		{"spill into last", 55, 10 * graph.EdgeSize, 4},
+		{"short stream leaves empties", 15, 10 * graph.EdgeSize, 4},
+		{"empty stream", 0, 10 * graph.EdgeSize, 3},
+		{"single chunk", 9, 100 * graph.EdgeSize, 1},
+		{"sub-edge chunk size", 5, 1, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			edges := mk(tc.streamLen)
+			segs := SplitStream(edges, tc.chunkBytes, tc.numChunks)
+			if len(segs) != tc.numChunks {
+				t.Fatalf("segments = %d, want %d", len(segs), tc.numChunks)
+			}
+			var cat []graph.Edge
+			per := EdgesPerChunk(tc.chunkBytes)
+			for i, s := range segs {
+				if i < len(segs)-1 && len(s) > per {
+					t.Fatalf("segment %d holds %d edges, capacity %d", i, len(s), per)
+				}
+				cat = append(cat, s...)
+			}
+			if len(cat) != len(edges) {
+				t.Fatalf("concatenation has %d edges, want %d", len(cat), len(edges))
+			}
+			for i := range cat {
+				if cat[i] != edges[i] {
+					t.Fatalf("edge %d changed across split", i)
+				}
+			}
+		})
+	}
+	if segs := SplitStream(mk(10), 960, 0); segs != nil {
+		t.Fatalf("zero chunks should yield nil, got %d segments", len(segs))
+	}
+}
+
 func TestLabelCoversAllEdgesOnce(t *testing.T) {
 	g, err := graph.GenerateRMAT(graph.DefaultRMAT("l", 256, 3000, 3))
 	if err != nil {

@@ -22,8 +22,12 @@ import (
 // NumPartitions returns the number of engine partitions under management.
 func (s *System) NumPartitions() int { return len(s.parts) }
 
-// ChunkCount returns the number of logical chunks labelled in partition pid.
+// ChunkCount returns the number of logical chunks labelled in partition pid
+// under its current labelling (adaptive chunking may change it between
+// partition openings).
 func (s *System) ChunkCount(pid int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	set, ok := s.sets[pid]
 	if !ok {
 		return 0
@@ -58,8 +62,11 @@ func (s *System) ActivePartitions(active interface{ AnyInRange(lo, hi int) bool 
 	return out
 }
 
-// baseChunkEdges returns the shared base edges of (pid, chunkIdx).
-func (s *System) baseChunkEdges(pid, chunkIdx int) ([]graph.Edge, error) {
+// baseChunkEdgesLocked returns the shared base edges of (pid, chunkIdx)
+// under the partition's current labelling. Caller holds s.mu: adaptive
+// chunking rewrites s.sets at partition barriers, and chunk indices are only
+// meaningful against one labelling epoch.
+func (s *System) baseChunkEdgesLocked(pid, chunkIdx int) ([]graph.Edge, error) {
 	set, ok := s.sets[pid]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown partition %d", pid)
@@ -75,8 +82,58 @@ func (s *System) baseChunkEdges(pid, chunkIdx int) ([]graph.Edge, error) {
 // current edges (as seen by the job) into the new edge set. The mutation is
 // visible only to jobID (Section 3.3.2, "mutation 2" in Figure 7); the
 // shared base chunk is untouched.
+//
+// The callback runs with no System lock held, so it may call back into the
+// System freely. Consistency against adaptive re-labelling is kept by
+// optimistic validation instead: the view is read under the partition's
+// current labelling epoch, and if a re-label lands while the callback runs
+// (changing what chunkIdx means), the view is re-read and the callback
+// re-run against it.
 func (s *System) MutateChunk(jobID, pid, chunkIdx int, mutate func(edges []graph.Edge) []graph.Edge) error {
-	cur, err := s.chunkViewEdges(jobID, pid, chunkIdx)
+	for {
+		s.mu.Lock()
+		epoch, ok := s.chunkEpochLocked(pid)
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("core: unknown partition %d", pid)
+		}
+		cur, err := s.chunkViewEdgesLocked(jobID, pid, chunkIdx)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		in := append([]graph.Edge(nil), cur...)
+		s.mu.Unlock()
+
+		out := mutate(in)
+
+		s.mu.Lock()
+		if now, ok := s.chunkEpochLocked(pid); !ok || now != epoch {
+			// The partition was re-labelled under the callback: chunkIdx now
+			// names a different slice of the stream. Retry on the new view.
+			s.mu.Unlock()
+			continue
+		}
+		s.snaps.mutate(jobID, pid, chunkIdx, out, s.mem.AllocAddr)
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// chunkEpochLocked returns the partition's current labelling epoch.
+func (s *System) chunkEpochLocked(pid int) (int, bool) {
+	set, ok := s.sets[pid]
+	if !ok {
+		return 0, false
+	}
+	return set.Epoch, true
+}
+
+// mutateChunkLocked is the internal form for callers already holding s.mu
+// with an internal (non-reentrant) callback — the evolve helpers, whose
+// closures never touch the System.
+func (s *System) mutateChunkLocked(jobID, pid, chunkIdx int, mutate func(edges []graph.Edge) []graph.Edge) error {
+	cur, err := s.chunkViewEdgesLocked(jobID, pid, chunkIdx)
 	if err != nil {
 		return err
 	}
@@ -90,7 +147,13 @@ func (s *System) MutateChunk(jobID, pid, chunkIdx int, mutate func(edges []graph
 // keep their snapshot ("update 3" in Figure 7). It returns the new snapshot
 // version.
 func (s *System) UpdateChunk(pid, chunkIdx int, edges []graph.Edge) (int, error) {
-	if _, err := s.baseChunkEdges(pid, chunkIdx); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updateChunkLocked(pid, chunkIdx, edges)
+}
+
+func (s *System) updateChunkLocked(pid, chunkIdx int, edges []graph.Edge) (int, error) {
+	if _, err := s.baseChunkEdgesLocked(pid, chunkIdx); err != nil {
 		return 0, err
 	}
 	return s.snaps.update(pid, chunkIdx, edges, s.mem.AllocAddr), nil
@@ -100,20 +163,20 @@ func (s *System) UpdateChunk(pid, chunkIdx int, edges []graph.Edge) (int, error)
 // observes them through its snapshot. For an unknown job (e.g. a job ID that
 // never ran), the view is the job-less current base.
 func (s *System) ChunkView(jobID, pid, chunkIdx int) ([]graph.Edge, error) {
-	return s.chunkViewEdges(jobID, pid, chunkIdx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chunkViewEdgesLocked(jobID, pid, chunkIdx)
 }
 
-func (s *System) chunkViewEdges(jobID, pid, chunkIdx int) ([]graph.Edge, error) {
-	base, err := s.baseChunkEdges(pid, chunkIdx)
+func (s *System) chunkViewEdgesLocked(jobID, pid, chunkIdx int) ([]graph.Edge, error) {
+	base, err := s.baseChunkEdgesLocked(pid, chunkIdx)
 	if err != nil {
 		return nil, err
 	}
 	born := s.snaps.currentVersion()
-	s.mu.Lock()
 	if js, ok := s.jobs[jobID]; ok {
 		born = js.born
 	}
-	s.mu.Unlock()
 	if cpy := s.snaps.resolve(jobID, born, pid, chunkIdx); cpy != nil {
 		return cpy.edges, nil
 	}

@@ -40,9 +40,10 @@ func (s *System) locate(v graph.VertexID) (*Partition, error) {
 	return nil, fmt.Errorf("core: no partition covers vertex %d", v)
 }
 
-// lastChunk returns the index of the partition's final chunk, or an error
-// for an unlabelled/empty partition.
-func (s *System) lastChunk(pid int) (int, error) {
+// lastChunkLocked returns the index of the partition's final chunk under its
+// current labelling, or an error for an unlabelled/empty partition. Caller
+// holds s.mu.
+func (s *System) lastChunkLocked(pid int) (int, error) {
 	set, ok := s.sets[pid]
 	if !ok || set.NumChunks() == 0 {
 		return 0, fmt.Errorf("core: partition %d has no chunks", pid)
@@ -52,24 +53,27 @@ func (s *System) lastChunk(pid int) (int, error) {
 
 // AddEdges installs new edges as a graph *update*: jobs submitted after the
 // call observe them; running jobs keep their snapshot. It returns the new
-// snapshot version.
+// snapshot version. The whole multi-chunk installation runs atomically
+// against adaptive re-labelling.
 func (s *System) AddEdges(edges []graph.Edge) (int, error) {
 	groups, err := s.groupBySourcePartition(edges)
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	version := s.snaps.currentVersion()
 	for pid, add := range groups {
-		k, err := s.lastChunk(pid)
+		k, err := s.lastChunkLocked(pid)
 		if err != nil {
 			return 0, err
 		}
-		cur, err := s.chunkViewEdges(-1, pid, k)
+		cur, err := s.chunkViewEdgesLocked(-1, pid, k)
 		if err != nil {
 			return 0, err
 		}
 		merged := append(append([]graph.Edge(nil), cur...), add...)
-		version, err = s.UpdateChunk(pid, k, merged)
+		version, err = s.updateChunkLocked(pid, k, merged)
 		if err != nil {
 			return 0, err
 		}
@@ -83,13 +87,15 @@ func (s *System) AddEdgesFor(jobID int, edges []graph.Edge) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for pid, add := range groups {
-		k, err := s.lastChunk(pid)
+		k, err := s.lastChunkLocked(pid)
 		if err != nil {
 			return err
 		}
 		add := add
-		if err := s.MutateChunk(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
+		if err := s.mutateChunkLocked(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
 			return append(cur, add...)
 		}); err != nil {
 			return err
@@ -99,14 +105,24 @@ func (s *System) AddEdgesFor(jobID int, edges []graph.Edge) error {
 }
 
 // RemoveEdges installs an update deleting every edge matching pred; it
-// returns the new snapshot version and the number of edges removed.
+// returns the new snapshot version and the number of edges removed. The
+// scan locks the controller one partition at a time — per-partition
+// consistency is all adaptive re-labelling needs (a partition's labelling
+// only changes at its own open) — so running jobs' chunk lockstep proceeds
+// between partitions instead of stalling for the whole O(|E|) pass. pred
+// runs under that per-partition lock: it must be a pure predicate and must
+// not call back into the System.
 func (s *System) RemoveEdges(pred func(graph.Edge) bool) (version, removed int, err error) {
+	s.mu.Lock()
 	version = s.snaps.currentVersion()
+	s.mu.Unlock()
 	for _, p := range s.parts {
+		s.mu.Lock()
 		set := s.sets[p.ID]
 		for k := 0; k < set.NumChunks(); k++ {
-			cur, err := s.chunkViewEdges(-1, p.ID, k)
+			cur, err := s.chunkViewEdgesLocked(-1, p.ID, k)
 			if err != nil {
+				s.mu.Unlock()
 				return 0, 0, err
 			}
 			kept := make([]graph.Edge, 0, len(cur))
@@ -120,22 +136,28 @@ func (s *System) RemoveEdges(pred func(graph.Edge) bool) (version, removed int, 
 			if len(kept) == len(cur) {
 				continue
 			}
-			version, err = s.UpdateChunk(p.ID, k, kept)
+			version, err = s.updateChunkLocked(p.ID, k, kept)
 			if err != nil {
+				s.mu.Unlock()
 				return 0, 0, err
 			}
 		}
+		s.mu.Unlock()
 	}
 	return version, removed, nil
 }
 
-// RemoveEdgesFor applies the deletion as a job-private mutation.
+// RemoveEdgesFor applies the deletion as a job-private mutation. Like
+// RemoveEdges it locks per partition, and pred must not call back into the
+// System.
 func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed int, err error) {
 	for _, p := range s.parts {
+		s.mu.Lock()
 		set := s.sets[p.ID]
 		for k := 0; k < set.NumChunks(); k++ {
-			cur, err := s.chunkViewEdges(jobID, p.ID, k)
+			cur, err := s.chunkViewEdgesLocked(jobID, p.ID, k)
 			if err != nil {
+				s.mu.Unlock()
 				return 0, err
 			}
 			match := 0
@@ -148,7 +170,7 @@ func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed 
 				continue
 			}
 			removed += match
-			if err := s.MutateChunk(jobID, p.ID, k, func(cur []graph.Edge) []graph.Edge {
+			if err := s.mutateChunkLocked(jobID, p.ID, k, func(cur []graph.Edge) []graph.Edge {
 				kept := cur[:0]
 				for _, e := range cur {
 					if !pred(e) {
@@ -157,9 +179,11 @@ func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed 
 				}
 				return kept
 			}); err != nil {
+				s.mu.Unlock()
 				return 0, err
 			}
 		}
+		s.mu.Unlock()
 	}
 	return removed, nil
 }

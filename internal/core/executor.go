@@ -28,6 +28,14 @@ package core
 // when their round ends (or the system fails), so an idle System holds no
 // goroutines. The legacy serial driver (Workers == 0) bypasses all of this
 // and is bit-for-bit the pre-executor behaviour.
+//
+// Adaptive chunk re-labelling composes with the pool through one invariant:
+// a partition's labelling is only swapped inside advancePartitionLocked,
+// before the new curPartition exists. Every pool structure that counts or
+// indexes chunks (execItem.k, execJob.done, the len(cp.set.Chunks) bounds
+// here and in processAll) goes through cp.set — the immutable Set pointer
+// captured at partition open — never through s.sets, so a re-label can never
+// change chunk arithmetic mid-partition in either driver.
 
 // execItem is one schedulable unit: job ej streams chunk k of partition cp.
 type execItem struct {

@@ -143,11 +143,14 @@ func (p *sleepProg) Active() *engine.Bitmap  { return p.active }
 func (p *sleepProg) StateBytes() int64       { return 64 }
 func (p *sleepProg) EdgeCost() float64       { return 1 }
 
-// TestExecutorOverlapsBlockingJobs is the wall-clock acceptance check in
-// miniature: four jobs whose edge functions block must overlap on a 4-worker
-// pool. The FineSync schedule per chunk is leader + 3 followers; followers
-// overlap, so the 4-worker wall-clock must land well under the serial one
-// regardless of core count.
+// TestExecutorOverlapsBlockingJobs checks that jobs whose edge functions
+// block overlap on a 4-worker pool. The primary assertion is structural —
+// the schedule-independent work counters must match the serial run while
+// PeakParallelStreams proves chunk applications were genuinely in flight
+// together — because those cannot flake under CI load. The wall-clock ratio
+// (ideal ~2x: leader phase serial, follower phase fully overlapped) is
+// asserted too, but a loaded machine gets one retry before the ratio is
+// allowed to fail the test.
 func TestExecutorOverlapsBlockingJobs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
@@ -158,7 +161,7 @@ func TestExecutorOverlapsBlockingJobs(t *testing.T) {
 		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 8), Weight: 1})
 	}
 	g := graph.MustNew("sleepy", 16, edges)
-	elapsed := func(workers int) time.Duration {
+	run := func(workers int) (time.Duration, []engine.WorkCounters, core.Stats) {
 		cfg := execConfig(256<<10, workers)
 		r := newRigWithGraph(t, g, 1, cfg)
 		var js []*engine.Job
@@ -169,15 +172,38 @@ func TestExecutorOverlapsBlockingJobs(t *testing.T) {
 		if err := r.sys.Run(js); err != nil {
 			t.Fatal(err)
 		}
-		return time.Since(start)
+		wall := time.Since(start)
+		var work []engine.WorkCounters
+		for _, j := range js {
+			work = append(work, j.Met.Work())
+		}
+		return wall, work, r.sys.StatsSnapshot()
 	}
-	serial := elapsed(1)
-	pooled := elapsed(4)
-	// Ideal is ~2x (leader phase is serial, follower phase fully overlaps);
-	// require 1.5x with margin for scheduler noise.
-	if ratio := float64(serial) / float64(pooled); ratio < 1.5 {
-		t.Fatalf("4-worker wall %v vs serial %v: speedup %.2fx < 1.5x", pooled, serial, ratio)
+
+	// One measurement attempt plus one retry: wall-clock ratios on shared CI
+	// runners can collapse when the host steals the timeslices the pooled
+	// run would overlap in.
+	const attempts = 2
+	var ratio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		serial, serialWork, _ := run(1)
+		pooled, pooledWork, st := run(4)
+		// Work-overlap counters first — these must hold on any machine.
+		for i := range serialWork {
+			if pooledWork[i] != serialWork[i] {
+				t.Fatalf("job %d work counters differ: pooled %+v vs serial %+v", i+1, pooledWork[i], serialWork[i])
+			}
+		}
+		if st.PeakParallelStreams < 2 {
+			t.Fatalf("peak parallel streams = %d, want >= 2 (followers never overlapped)", st.PeakParallelStreams)
+		}
+		ratio = float64(serial) / float64(pooled)
+		if ratio >= 1.5 {
+			return
+		}
+		t.Logf("attempt %d/%d: 4-worker wall %v vs serial %v: speedup %.2fx < 1.5x", attempt, attempts, pooled, serial, ratio)
 	}
+	t.Fatalf("speedup %.2fx < 1.5x after %d attempts (structural overlap held; host too loaded?)", ratio, attempts)
 }
 
 // rangeProg is a one-iteration program whose active sources span [lo, hi) —

@@ -114,6 +114,19 @@ func (sess *Session) Detach() {
 	s.mu.Unlock()
 }
 
+// Joined reports whether the session's job has reached the sharing
+// controller at least once this iteration: it attached to the round in
+// flight (JoinMidRound) or queued at the round barrier. Deterministic test
+// orchestration uses it to sequence an attach fully before the triggering
+// job releases the partition it is holding open — once Joined returns true,
+// the job's effect on round composition is fixed.
+func (sess *Session) Joined() bool {
+	s := sess.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.js.inRound || sess.js.ready
+}
+
 // Detached reports whether the controller honored a Detach request for this
 // session's job — i.e. the job actually withdrew before converging. A
 // Detach that lands after the job's last iteration never takes effect, and

@@ -40,6 +40,19 @@ type Config struct {
 	Reserved int64
 	// VertexPay is U_v — per-vertex job-specific bytes.
 	VertexPay int64
+	// AdaptiveChunking re-evaluates Formula (1) at partition barriers with
+	// N = the number of jobs about to share the partition being opened,
+	// re-labelling the partition (Algorithm 1) when the target chunk size
+	// has drifted beyond RelabelFactor from the size its current labelling
+	// assumed. Off by default: the figure experiments run the paper's
+	// static, NewSystem-time sizing.
+	AdaptiveChunking bool
+	// RelabelFactor is the adaptive-chunking hysteresis threshold: a
+	// partition is re-labelled only when target >= factor*current or
+	// target*factor <= current, so attendance jitter of less than factor-x
+	// never churns chunk tables. Zero resolves to 2; values below 1 are
+	// rejected by NewSystem.
+	RelabelFactor float64
 	// FineSync enables the chunk-level synchronization of Section 3.4;
 	// disabling it still shares buffers but lets jobs stream a partition
 	// independently (the ablation of the Share-only configuration).
@@ -96,6 +109,14 @@ type Stats struct {
 	// of real concurrency (wall-clock speedup additionally needs the cores
 	// to run them on). Zero under the legacy serial driver.
 	PeakParallelStreams int
+	// Relabels counts adaptive chunk re-labellings: partition-barrier
+	// re-evaluations of Formula (1) whose target size drifted beyond the
+	// hysteresis threshold and rewrote the partition's chunk tables.
+	// RelabelSkips counts re-evaluations whose drift stayed under the
+	// threshold (the hysteresis holding the line). Both zero unless
+	// Config.AdaptiveChunking is on.
+	Relabels     uint64
+	RelabelSkips uint64
 }
 
 // Sub returns the counter deltas accumulated between old and s. Sizing
@@ -117,6 +138,8 @@ func (s Stats) Sub(old Stats) Stats {
 		Prefetches:          s.Prefetches - old.Prefetches,
 		PrefetchHits:        s.PrefetchHits - old.PrefetchHits,
 		PrefetchCancels:     s.PrefetchCancels - old.PrefetchCancels,
+		Relabels:            s.Relabels - old.Relabels,
+		RelabelSkips:        s.RelabelSkips - old.RelabelSkips,
 	}
 }
 
@@ -134,7 +157,15 @@ type System struct {
 
 	parts    []*Partition
 	partByID map[int]*Partition
-	sets     map[int]*chunk.Set
+	// sets and chunkSize hold each partition's current labelling and chunk
+	// size. Static configurations write them once at NewSystem; adaptive
+	// chunking rewrites them at partition barriers, so every read outside
+	// NewSystem must hold mu (streaming passes instead capture the Set
+	// pointer when the partition opens — Sets are immutable once built).
+	sets      map[int]*chunk.Set
+	chunkSize map[int]int64
+	// relabelFactor is cfg.RelabelFactor resolved (0 -> 2).
+	relabelFactor float64
 
 	snaps *snapshotStore
 	sem   chan struct{}
@@ -242,6 +273,13 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: Workers must be >= 0 (0 means the legacy serial driver), got %d", cfg.Workers)
 	}
+	if cfg.RelabelFactor != 0 && cfg.RelabelFactor < 1 {
+		return nil, fmt.Errorf("core: RelabelFactor must be >= 1 (0 means the default of 2), got %v", cfg.RelabelFactor)
+	}
+	relabelFactor := cfg.RelabelFactor
+	if relabelFactor == 0 {
+		relabelFactor = 2
+	}
 	cores := cfg.Cores
 	if cores == 0 {
 		cores = runtime.GOMAXPROCS(0)
@@ -258,20 +296,22 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 		return nil, err
 	}
 	s := &System{
-		cfg:      cfg,
-		layout:   layout,
-		g:        g,
-		mem:      mem,
-		cache:    cache,
-		cost:     cfg.Cost,
-		parts:    layout.Partitions(),
-		partByID: make(map[int]*Partition),
-		sets:     make(map[int]*chunk.Set),
-		snaps:    newSnapshotStore(),
-		jobs:     make(map[int]*jobState),
-		cores:    cores,
-		workers:  cfg.Workers,
-		pfPID:    -1,
+		cfg:           cfg,
+		layout:        layout,
+		g:             g,
+		mem:           mem,
+		cache:         cache,
+		cost:          cfg.Cost,
+		parts:         layout.Partitions(),
+		partByID:      make(map[int]*Partition),
+		sets:          make(map[int]*chunk.Set),
+		chunkSize:     make(map[int]int64),
+		relabelFactor: relabelFactor,
+		snaps:         newSnapshotStore(),
+		jobs:          make(map[int]*jobState),
+		cores:         cores,
+		workers:       cfg.Workers,
+		pfPID:         -1,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.Cores > 0 && !s.execEnabled() {
@@ -285,6 +325,7 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 		set := chunk.Label(p.ID, p.Edges, sc)
 		s.partByID[p.ID] = p
 		s.sets[p.ID] = set
+		s.chunkSize[p.ID] = sc
 		s.stats.NumChunks += set.NumChunks()
 		s.stats.MetadataBytes += set.MetadataBytes()
 	}
@@ -551,7 +592,7 @@ func (s *System) advancePartitionLocked() {
 		pid := s.order[s.pos]
 		var att []*jobState
 		for _, js := range s.jobs {
-			if js.inRound && js.active[pid] && !js.processed[pid] {
+			if s.attendsLocked(js, pid) {
 				att = append(att, js)
 			}
 		}
@@ -566,6 +607,10 @@ func (s *System) advancePartitionLocked() {
 		// Deterministic attendee order: leader tie-breaks and workers=1
 		// dispatch order must not depend on map iteration.
 		sort.Slice(att, func(i, j int) bool { return att[i].job.ID < att[j].job.ID })
+		// The partition barrier is the one point where no chunk of pid is in
+		// flight under either driver, so the adaptive sizing rule may swap
+		// the partition's labelling before any job captures it.
+		s.maybeRelabelLocked(pid, len(att))
 		part := s.partByID[pid]
 		// Algorithm 2, lines 8–13: one shared buffer per partition — claimed
 		// from the prefetcher when it loaded the right one, synchronously
@@ -664,10 +709,22 @@ func (s *System) cancelPrefetchLocked() {
 	s.stats.PrefetchCancels++
 }
 
-// hasAttendeeLocked reports whether any in-round job still needs pid.
+// attendsLocked is the single source of truth for partition attendance:
+// the job is in the round, still needs pid, and has no detach pending. The
+// detach exclusion means a withdrawing job is never billed a share of a
+// load opened after its request — and makes the detach's effect on
+// attendance deterministic (the flag is set strictly before the open,
+// wherever the job's own goroutine is). advancePartitionLocked and the
+// prefetcher's hasAttendeeLocked both use it, so the prefetch target can
+// never disagree with actual attendance.
+func (s *System) attendsLocked(js *jobState, pid int) bool {
+	return js.inRound && !js.detachWanted && js.active[pid] && !js.processed[pid]
+}
+
+// hasAttendeeLocked reports whether any job attends pid.
 func (s *System) hasAttendeeLocked(pid int) bool {
 	for _, js := range s.jobs {
-		if js.inRound && js.active[pid] && !js.processed[pid] {
+		if s.attendsLocked(js, pid) {
 			return true
 		}
 	}

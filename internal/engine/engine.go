@@ -88,6 +88,34 @@ func (m *Metrics) Add(other Metrics) {
 	m.SimIONS += other.SimIONS
 }
 
+// WorkCounters is the schedule-independent slice of Metrics: the counters
+// that depend only on what the job computed, never on when or at what chunk
+// granularity the work was streamed. For one workload they must be identical
+// across the legacy serial driver, any executor worker count, and static vs
+// adaptive chunk labelling — which makes them the equality basis for the
+// scenario harness's invariant checks and for overlap tests that must not
+// assert on wall-clock time.
+type WorkCounters struct {
+	ScannedEdges   uint64
+	ProcessedEdges uint64
+	Iterations     uint64
+	PartitionLoads uint64
+}
+
+// Work extracts the schedule-independent counters. The simulated-time fields
+// are deliberately excluded: LLC hit/miss pricing shifts with chunk
+// labelling, I/O shares shift with attendance, and even SimComputeNS is
+// truncated to whole nanoseconds once per chunk application, so it drifts by
+// a few ns when the same edges are applied at a different chunk granularity.
+func (m *Metrics) Work() WorkCounters {
+	return WorkCounters{
+		ScannedEdges:   m.ScannedEdges,
+		ProcessedEdges: m.ProcessedEdges,
+		Iterations:     m.Iterations,
+		PartitionLoads: m.PartitionLoads,
+	}
+}
+
 // SimAccessNS returns the simulated data-access time (memory + I/O), the
 // quantity Figure 10 breaks out against graph processing time.
 func (m *Metrics) SimAccessNS() uint64 { return m.SimMemNS + m.SimIONS }
