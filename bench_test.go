@@ -126,3 +126,14 @@ func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation", 16) }
 // the service layer at increasing Poisson rates, measuring how arrival
 // density drives load sharing.
 func BenchmarkOpenLoop(b *testing.B) { runExperiment(b, "openloop", 12) }
+
+// BenchmarkHotpath runs the chunk-apply hot-path throughput experiment:
+// scanned edges per second (Medges/s) across the serial legacy driver and
+// the executor worker sweep.
+func BenchmarkHotpath(b *testing.B) { runExperiment(b, "hotpath", 8) }
+
+// BenchmarkHotpathSerial is the serial-only hot-path variant pinned by the
+// perf regression gate (the worker sweep's wall-clock scales with the
+// runner's core count, so only the serial row is baselined — the same
+// caveat that keeps BenchmarkParallelExecutor out of the baseline).
+func BenchmarkHotpathSerial(b *testing.B) { runExperiment(b, "hotpath-serial", 8) }

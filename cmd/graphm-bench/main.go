@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"graphm/internal/bench"
+	"graphm/internal/profiles"
 )
 
 func main() {
@@ -27,8 +28,16 @@ func main() {
 		cores  = flag.Int("cores", 8, "simulated core count")
 		seed   = flag.Int64("seed", 42, "workload seed")
 		asJSON = flag.Bool("json", false, "emit tables as JSON")
+		cpuPro = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memPro = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	stop, err := profiles.Start(*cpuPro, *memPro)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	if *list {
 		for _, name := range bench.Experiments() {
@@ -47,13 +56,13 @@ func main() {
 	h.Seed = *seed
 	h.JSON = *asJSON
 
-	var err error
 	if *exp == "all" {
 		err = h.RunAll()
 	} else {
 		err = h.Run(*exp)
 	}
 	if err != nil {
+		stop() // flush profiles before exiting
 		fmt.Fprintf(os.Stderr, "graphm-bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -27,6 +27,7 @@ import (
 	"graphm/internal/bench"
 	"graphm/internal/core"
 	"graphm/internal/memsim"
+	"graphm/internal/profiles"
 	"graphm/internal/service"
 	"graphm/internal/storage"
 )
@@ -46,11 +47,19 @@ func main() {
 		relabelF  = flag.Float64("relabel-factor", 0, "adaptive chunking hysteresis factor (0 = default 2): re-label only on >= factor-x chunk-size drift")
 		seed      = flag.Int64("seed", 42, "arrival and parameter seed")
 		quietFlag = flag.Bool("q", false, "suppress the per-ticket table")
+		cpuPro    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memPro    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *nJobs <= 0 || *rate <= 0 || *tenants <= 0 {
 		fatal(fmt.Errorf("jobs, rate and tenants must be positive"))
 	}
+	stop, err := profiles.Start(*cpuPro, *memPro)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	env, err := bench.NewGridEnv(*dataset)
 	if err != nil {
@@ -108,13 +117,20 @@ func main() {
 
 	if !*quietFlag {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "job\ttenant\talgo\tstatus\tqueue wait\truntime(real)\tsim time\titers\tshared loads seen")
+		fmt.Fprintln(tw, "job\ttenant\talgo\tstatus\tqueue wait\truntime(real)\tsim time\tMedges/s\titers\tshared loads seen")
 		for _, tk := range tickets {
 			st := tk.Wait()
-			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			// Streaming throughput: edges scanned past the job per second of
+			// real runtime — what the hot path actually sustained for this
+			// ticket on this machine.
+			medges := 0.0
+			if rt := tk.Runtime(); rt > 0 {
+				medges = float64(tk.Job().Met.ScannedEdges) / rt.Seconds() / 1e6
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.1f\t%d\t%d\n",
 				tk.ID, tk.Tenant, tk.Algo, st,
 				tk.QueueWait().Round(time.Microsecond), tk.Runtime().Round(time.Microsecond),
-				tk.SimRuntime().Round(time.Microsecond),
+				tk.SimRuntime().Round(time.Microsecond), medges,
 				tk.Job().Met.Iterations, tk.StatsDelta().SharedLoads)
 		}
 		tw.Flush()
@@ -139,7 +155,14 @@ func main() {
 	}
 }
 
+// stopProfiles flushes the -cpuprofile/-memprofile output; fatal must run
+// it because os.Exit skips the deferred call in main.
+var stopProfiles func()
+
 func fatal(err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintf(os.Stderr, "graphm-serve: %v\n", err)
 	os.Exit(1)
 }

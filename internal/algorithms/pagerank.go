@@ -108,6 +108,24 @@ func (p *PageRank) AfterIteration(iter int) {
 	}
 }
 
+// ProcessEdges implements engine.BatchProgram: the exact per-edge update
+// applied in slice order, with the outDeg/rank/next slices hoisted out of
+// the interface-dispatch path. Must stay observably identical to
+// ProcessEdge, including float operation order.
+func (p *PageRank) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	rank, next, deg := p.rank, p.next, p.outDeg
+	for _, e := range edges {
+		if !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		if d := deg[e.Src]; d != 0 {
+			next[e.Dst] += rank[e.Src] / float64(d)
+		}
+	}
+	return processed, 0
+}
+
 // Active implements engine.Program.
 func (p *PageRank) Active() *engine.Bitmap { return p.active }
 

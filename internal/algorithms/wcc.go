@@ -86,6 +86,28 @@ func (w *WCC) AfterIteration(iter int) {
 	}
 }
 
+// ProcessEdges implements engine.BatchProgram: identical label propagation
+// to ProcessEdge, applied in slice order without per-edge interface
+// dispatch.
+func (w *WCC) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	label := w.label
+	for _, e := range edges {
+		if !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		if label[e.Src] < label[e.Dst] {
+			label[e.Dst] = label[e.Src]
+			w.moved = true
+			activated++
+		} else if label[e.Dst] < label[e.Src] {
+			label[e.Src] = label[e.Dst]
+			w.moved = true
+		}
+	}
+	return processed, activated
+}
+
 // Active implements engine.Program.
 func (w *WCC) Active() *engine.Bitmap { return w.active }
 

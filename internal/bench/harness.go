@@ -77,6 +77,8 @@ var experiments = []experiment{
 	{"openloop", "open-loop arrivals: online admission vs arrival rate", (*Harness).openloop},
 	{"parallel", "streaming-executor worker sweep: wall-clock speedup vs workers", (*Harness).parallel},
 	{"adaptive", "adaptive chunk re-labelling: static vs barrier-relabelled chunking on an attach/detach ramp", (*Harness).adaptive},
+	{"hotpath", "chunk-apply hot-path throughput (Medges/s), serial + worker sweep", (*Harness).hotpath},
+	{"hotpath-serial", "hot-path throughput, serial driver only (the perf-gate variant)", (*Harness).hotpathSerial},
 }
 
 // Experiments lists runnable experiment names in paper order.

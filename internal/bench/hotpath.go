@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphm/internal/jobs"
+)
+
+// hotpath is the raw streaming-throughput experiment for the chunk-apply
+// hot path: the Twitter rotation workload under GraphM, reporting scanned
+// edges per second of wall-clock (Medges/s) — the quantity the run-length
+// LLC accounting, batched counter flushing and per-partition lockstep
+// wakeups buy. The serial row (workers=0, the legacy driver every
+// simulated-time experiment uses) is the pinned perf-gate variant; the
+// worker sweep shows how the executor's real concurrency stacks on top
+// (its wall-clock scales with the runner's cores, so it stays out of the
+// gate, like BenchmarkParallelExecutor).
+func (h *Harness) hotpath() ([]*Table, error) {
+	return h.hotpathRows([]int{0, 1, 2, 4})
+}
+
+// hotpathSerial is the serial-only variant backing BenchmarkHotpathSerial,
+// the perf-regression-gate entry.
+func (h *Harness) hotpathSerial() ([]*Table, error) {
+	return h.hotpathRows([]int{0})
+}
+
+func (h *Harness) hotpathRows(workerSweep []int) ([]*Table, error) {
+	e, err := h.gridEnv("twitter")
+	if err != nil {
+		return nil, err
+	}
+	jobCount := h.JobCount
+	if jobCount <= 0 {
+		jobCount = 8
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("hot path: streaming throughput, %d jobs, twitter", jobCount),
+		Headers: []string{"driver", "wall", "scanned edges", "Medges/s", "LLC miss rate"},
+		Notes: []string{
+			"Medges/s: scanned edges per second of real wall-clock — the hot-path throughput the LLC simulation permits",
+			"serial is the legacy workers=0 driver of every simulated-time experiment (the perf-gate variant)",
+		},
+	}
+	for _, w := range workerSweep {
+		res, err := e.RunScheme(SchemeM, func() *jobs.Workload {
+			return jobs.Rotation(jobCount, h.Seed)
+		}, RunOptions{Cores: h.Cores, Workers: w})
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		driver := "serial"
+		if w > 0 {
+			driver = fmt.Sprintf("workers=%d", w)
+		}
+		medges := 0.0
+		if res.Wall > 0 {
+			medges = float64(res.ScannedEdges) / res.Wall.Seconds() / 1e6
+		}
+		t.Rows = append(t.Rows, []string{
+			driver,
+			res.Wall.Round(time.Millisecond).String(),
+			human(res.ScannedEdges),
+			f2(medges),
+			pct(res.LLCMissRate()),
+		})
+	}
+	return []*Table{t}, nil
+}

@@ -81,7 +81,7 @@ func (s *System) workerLoop(round int) {
 	for {
 		s.mu.Lock()
 		for s.err == nil && s.round == round && s.roundActive && len(s.execQueue) == 0 {
-			s.cond.Wait()
+			s.workCond.Wait()
 		}
 		if s.err != nil || s.round != round || !s.roundActive {
 			s.mu.Unlock()
@@ -108,19 +108,22 @@ func (s *System) workerLoop(round int) {
 			it.ej.finished = true
 		}
 		if s.cfg.FineSync {
+			// chunkDoneLocked broadcasts the partition's cond, which also
+			// wakes this job's processAll if finished just flipped.
 			s.chunkDoneLocked(it.ej.js, it.cp)
 		} else {
 			s.dispatchLocked(it.cp)
+			it.cp.cond.Broadcast()
 		}
-		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
 }
 
-// enqueueLocked appends an item to the shared work queue and wakes a worker.
+// enqueueLocked appends an item to the shared work queue and wakes the idle
+// pool workers (never the jobs parked on round or lockstep wait lists).
 func (s *System) enqueueLocked(it execItem) {
 	s.execQueue = append(s.execQueue, it)
-	s.cond.Broadcast()
+	s.workCond.Broadcast()
 }
 
 // dispatchLocked hands every currently eligible chunk item of the open
@@ -184,6 +187,6 @@ func (s *System) processAll(js *jobState, cp *curPartition) {
 	cp.execByID[js.job.ID] = ej
 	s.dispatchLocked(cp)
 	for s.err == nil && !ej.finished {
-		s.cond.Wait()
+		cp.cond.Wait()
 	}
 }

@@ -110,7 +110,9 @@ func (sess *Session) Detach() {
 	s := sess.s
 	s.mu.Lock()
 	sess.js.detachWanted = true
-	s.cond.Broadcast()
+	// The job could be parked on any wait list (round barrier, sharing, or
+	// the open partition's lockstep); detaches are rare, so wake them all.
+	s.broadcastAllLocked()
 	s.mu.Unlock()
 }
 

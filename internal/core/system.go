@@ -53,6 +53,14 @@ type Config struct {
 	// never churns chunk tables. Zero resolves to 2; values below 1 are
 	// rejected by NewSystem.
 	RelabelFactor float64
+	// PerEdgeSim routes chunk application through the reference per-edge LLC
+	// accounting model (engine.Job.ApplyChunkPerEdge: one set-lock
+	// acquisition and one atomic counter update per simulated access)
+	// instead of the batched run-length hot path. The two models are
+	// observably identical under a serial schedule — the scenario harness's
+	// CheckSimEqual invariant proves it — so this exists for verification
+	// and debugging, not production streaming.
+	PerEdgeSim bool
 	// FineSync enables the chunk-level synchronization of Section 3.4;
 	// disabling it still shares buffers but lets jobs stream a partition
 	// independently (the ablation of the Share-only configuration).
@@ -175,9 +183,19 @@ type System struct {
 	cores   int
 	workers int
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	err  error
+	mu sync.Mutex
+	// Wakeups are split by concern so the chunk lockstep never wakes
+	// bystanders: roundCond serves round-lifecycle waiters (jobs queued at
+	// the round barrier in beginIteration, jobs suspended in sharing until a
+	// partition they need opens); workCond serves the executor pool's idle
+	// workers; and each curPartition carries its own cond for the chunk
+	// lockstep, so chunkDone/leader events reach only that partition's
+	// attendees. All three share mu. The seed used one global cond whose
+	// every Broadcast woke every goroutine in the system — O(jobs) spurious
+	// wakeups per chunk.
+	roundCond *sync.Cond
+	workCond  *sync.Cond
+	err       error
 
 	jobs       map[int]*jobState
 	live       int
@@ -241,6 +259,14 @@ type curPartition struct {
 	buf     *storage.Buffer
 	attend  []*jobState
 	pending map[int]bool // jobs that have not yet picked the partition up
+
+	// cond (on System.mu) is the partition's private wait list: attendees
+	// blocked in awaitChunk for the lockstep window, and pool-driven
+	// attendees blocked in processAll for their last chunk. Only chunk-level
+	// events of this partition (and system failure / detach rewrites)
+	// broadcast it, so a chunk barrier wakes its own attendees and nobody
+	// else.
+	cond *sync.Cond
 
 	remaining  int // jobs that have not finished the partition
 	chunkIdx   int
@@ -313,7 +339,8 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 		workers:       cfg.Workers,
 		pfPID:         -1,
 	}
-	s.cond = sync.NewCond(&s.mu)
+	s.roundCond = sync.NewCond(&s.mu)
+	s.workCond = sync.NewCond(&s.mu)
 	if cfg.Cores > 0 && !s.execEnabled() {
 		// The legacy driver throttles concurrent chunk streams with a
 		// semaphore; the executor bounds real concurrency with its worker
@@ -436,9 +463,21 @@ func (s *System) beginIteration(js *jobState) bool {
 			s.markDetachedLocked(js)
 			return false
 		}
-		s.cond.Wait()
+		s.roundCond.Wait()
 	}
 	return true
+}
+
+// broadcastAllLocked wakes every waiter in the system: round-barrier and
+// sharing waiters, idle pool workers, and the open partition's lockstep
+// attendees. Reserved for the rare events whose effect cannot be scoped to
+// one wait list — system failure and externally requested detaches.
+func (s *System) broadcastAllLocked() {
+	s.roundCond.Broadcast()
+	s.workCond.Broadcast()
+	if s.cur != nil {
+		s.cur.cond.Broadcast()
+	}
 }
 
 // markDetachedLocked records a job's withdrawal exactly once, whichever
@@ -488,7 +527,7 @@ func (s *System) attachMidRoundLocked(js *jobState) {
 	// The rewrite may have changed which partition streams next: re-aim the
 	// prefetcher (canceling an invalidated in-flight load).
 	s.startPrefetchLocked()
-	s.cond.Broadcast()
+	s.roundCond.Broadcast()
 }
 
 // detachLocked unhooks a job from the sharing controller mid-round. It is
@@ -503,7 +542,7 @@ func (s *System) detachLocked(js *jobState) {
 	s.markDetachedLocked(js)
 	cp := s.cur
 	if cp == nil || !cp.pending[js.job.ID] {
-		s.cond.Broadcast()
+		s.roundCond.Broadcast()
 		return
 	}
 	delete(cp.pending, js.job.ID)
@@ -517,7 +556,6 @@ func (s *System) detachLocked(js *jobState) {
 	if cp.remaining == 0 {
 		// The job was the partition's only outstanding attendee.
 		s.advancePartitionLocked()
-		s.cond.Broadcast()
 		return
 	}
 	if cp.chunkIdx < len(cp.set.Chunks) {
@@ -531,7 +569,7 @@ func (s *System) detachLocked(js *jobState) {
 			s.advanceChunkLocked(cp)
 		}
 	}
-	s.cond.Broadcast()
+	cp.cond.Broadcast()
 }
 
 // maybeStartRoundLocked starts a new round when every live job is waiting at
@@ -567,7 +605,7 @@ func (s *System) startRoundLocked() {
 	s.roundActive = true
 	s.startWorkersLocked()
 	s.advancePartitionLocked()
-	s.cond.Broadcast()
+	s.roundCond.Broadcast()
 }
 
 // advancePartitionLocked releases the current shared buffer and opens the
@@ -586,7 +624,10 @@ func (s *System) advancePartitionLocked() {
 		if s.pos >= len(s.order) {
 			s.roundActive = false
 			s.cancelPrefetchLocked()
-			s.cond.Broadcast()
+			// Round over: suspended jobs re-evaluate their iteration, and the
+			// round's pool workers see roundActive drop and exit.
+			s.roundCond.Broadcast()
+			s.workCond.Broadcast()
 			return
 		}
 		pid := s.order[s.pos]
@@ -655,6 +696,7 @@ func (s *System) advancePartitionLocked() {
 			pending:   make(map[int]bool, len(att)),
 			remaining: len(att),
 			execByID:  make(map[int]*execJob, len(att)),
+			cond:      sync.NewCond(&s.mu),
 		}
 		for _, js := range att {
 			cp.pending[js.job.ID] = true
@@ -663,7 +705,8 @@ func (s *System) advancePartitionLocked() {
 		s.electLeaderLocked(cp)
 		s.cur = cp
 		s.startPrefetchLocked()
-		s.cond.Broadcast()
+		// Only jobs suspended in sharing care that a partition opened.
+		s.roundCond.Broadcast()
 		return
 	}
 }
@@ -775,18 +818,19 @@ func (s *System) sharing(js *jobState) *curPartition {
 			suspended = true
 			s.stats.Suspensions++
 		}
-		s.cond.Wait()
+		s.roundCond.Wait()
 	}
 }
 
 // awaitChunk blocks until chunk k is open for this job: either the job is
 // the chunk's leader, or the leader has filled the LLC. Returns false if the
-// system failed.
+// system failed. The wait parks on the partition's own cond, so only this
+// partition's chunk events (or a system-wide broadcast) wake it.
 func (s *System) awaitChunk(js *jobState, cp *curPartition, k int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.err == nil && !(cp.chunkIdx == k && (cp.leaderID == js.job.ID || cp.leaderDone)) {
-		s.cond.Wait()
+		cp.cond.Wait()
 	}
 	return s.err == nil
 }
@@ -801,7 +845,10 @@ func (s *System) chunkDone(js *jobState, cp *curPartition) {
 
 // chunkDoneLocked records one job's completion of the current chunk. It is
 // shared by the legacy Next/Process path and the executor's work items, so
-// pool-driven and self-driven sessions interoperate on one lockstep.
+// pool-driven and self-driven sessions interoperate on one lockstep. The
+// closing broadcast reaches only the partition's own wait list — jobs queued
+// at the round barrier and jobs suspended on other work never wake for a
+// chunk event.
 func (s *System) chunkDoneLocked(js *jobState, cp *curPartition) {
 	if cp.leaderID == js.job.ID {
 		cp.leaderDone = true
@@ -813,7 +860,7 @@ func (s *System) chunkDoneLocked(js *jobState, cp *curPartition) {
 	if cp.doneCount == len(cp.attend) {
 		s.advanceChunkLocked(cp)
 	}
-	s.cond.Broadcast()
+	cp.cond.Broadcast()
 }
 
 // advanceChunkLocked closes the current chunk (every attendee done), opens
@@ -862,6 +909,9 @@ func (s *System) streamChunk(js *jobState, cp *curPartition, k int) engine.Strea
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 	}
+	if s.cfg.PerEdgeSim {
+		return js.job.ApplyChunkPerEdge(edges, base, first, s.cache, s.cost)
+	}
 	return js.job.ApplyChunk(edges, base, first, s.cache, s.cost)
 }
 
@@ -890,9 +940,11 @@ func (s *System) partitionBarrier(js *jobState, cp *curPartition) {
 	}
 	cp.remaining--
 	if cp.remaining == 0 && s.cur == cp {
+		// advancePartitionLocked wakes whoever the transition concerns; a
+		// barrier that leaves the partition open concerns nobody else — no
+		// other wait predicate reads remaining or processed.
 		s.advancePartitionLocked()
 	}
-	s.cond.Broadcast()
 }
 
 // leave deregisters a finished job, releases its snapshot overrides, and
@@ -910,7 +962,7 @@ func (s *System) leave(js *jobState) {
 		}
 	}
 	s.maybeStartRoundLocked()
-	s.cond.Broadcast()
+	s.roundCond.Broadcast()
 	s.mu.Unlock()
 	s.snaps.pruneBefore(minBorn)
 }
@@ -927,5 +979,5 @@ func (s *System) failLocked(err error) {
 	}
 	s.roundActive = false
 	s.cancelPrefetchLocked()
-	s.cond.Broadcast()
+	s.broadcastAllLocked()
 }

@@ -64,6 +64,20 @@ type Program interface {
 	EdgeCost() float64
 }
 
+// BatchProgram is an optional Program extension for batch-capable engines:
+// ProcessEdges applies the edge function to every edge of the slice whose
+// source is set in active, in slice order, and returns how many edges were
+// processed and how many activated their destination. It must be observably
+// identical to calling ProcessEdge on each active-source edge in order —
+// same state mutations, same floating-point operation order, same counts —
+// so engines may use either path interchangeably. Job.ApplyChunk uses it to
+// skip the per-edge interface dispatch on the hot path, falling back to
+// ProcessEdge for programs that do not implement it.
+type BatchProgram interface {
+	Program
+	ProcessEdges(edges []graph.Edge, active *Bitmap) (processed, activated uint64)
+}
+
 // Metrics aggregates one job's work counters; engines update it while
 // streaming and the bench harness converts it into the paper's reported
 // quantities.

@@ -120,47 +120,131 @@ func StreamEdges(j *Job, edges []graph.Edge, baseAddr uint64, first int, cache *
 // chunks (only ever one ApplyChunk in flight per job), because ProcessEdge
 // mutates per-vertex state that disjoint chunks may share through common
 // destinations.
+//
+// The simulated access order is canonical across both accounting models:
+// each 64-byte line-run of the 12-byte-edge stream (~5.3 edges) is scanned
+// first — one access per edge, all to the same cache line — then the run's
+// active-source edges access their two endpoint state lines and are
+// processed, in edge order. ApplyChunk is the batched hot path: it accounts
+// every line-run under a single set-lock acquisition (memsim.Cache.TouchRun),
+// tallies hits/misses/processed counts as integers, flushes them to the
+// job's Counters and the cache-wide totals with one atomic add per counter
+// at chunk end, and prices simulated time with a handful of multiplications
+// instead of per-access float adds. Programs implementing BatchProgram are
+// additionally processed one run at a time, skipping the per-edge interface
+// dispatch. ApplyChunkPerEdge is the reference model for the same access
+// sequence; under a serial schedule the two produce identical counters —
+// the scenario harness's sim-equality invariant proves it.
 func (j *Job) ApplyChunk(edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
 	start := time.Now()
 	active := j.Prog.Active()
+	bp, _ := j.Prog.(BatchProgram)
 	var st StreamStats
-	var accessNS, computeNS float64
-	cost := j.Prog.EdgeCost()
-	for i, e := range edges {
+	var tally memsim.Tally
+	n := len(edges)
+	for i := 0; i < n; {
 		addr := baseAddr + uint64(first+i)*graph.EdgeSize
-		if cache.Touch(addr, &j.Ctr) {
-			accessNS += cm.LLCMissNS
-		} else {
-			accessNS += cm.LLCHitNS
+		lineEnd := (addr/memsim.LineSize + 1) * memsim.LineSize
+		run := i + int((lineEnd-addr+graph.EdgeSize-1)/graph.EdgeSize)
+		if run > n {
+			run = n
 		}
-		st.Scanned++
-		accessNS += cm.ScanNS
-		if !active.Has(int(e.Src)) {
-			continue
+		cache.TouchRun(addr, uint64(run-i), &tally)
+		for k := i; k < run; k++ {
+			e := edges[k]
+			if !active.Has(int(e.Src)) {
+				continue
+			}
+			// Job-specific data accesses for the two endpoints.
+			srcAddr := j.StateBase + uint64(e.Src)*j.VertexPay
+			dstAddr := j.StateBase + uint64(e.Dst)*j.VertexPay
+			if srcAddr/memsim.LineSize == dstAddr/memsim.LineSize {
+				cache.TouchRun(srcAddr, 2, &tally)
+			} else {
+				cache.TouchRun(srcAddr, 1, &tally)
+				cache.TouchRun(dstAddr, 1, &tally)
+			}
+			if bp == nil {
+				if j.Prog.ProcessEdge(e) {
+					st.Activated++
+				}
+				st.Processed++
+			}
 		}
-		// Job-specific data accesses for the two endpoints.
-		if cache.Touch(j.StateBase+uint64(e.Src)*j.VertexPay, &j.Ctr) {
-			accessNS += cm.LLCMissNS
-		} else {
-			accessNS += cm.LLCHitNS
+		if bp != nil {
+			p, a := bp.ProcessEdges(edges[i:run], active)
+			st.Processed += p
+			st.Activated += a
 		}
-		if cache.Touch(j.StateBase+uint64(e.Dst)*j.VertexPay, &j.Ctr) {
-			accessNS += cm.LLCMissNS
-		} else {
-			accessNS += cm.LLCHitNS
-		}
-		if j.Prog.ProcessEdge(e) {
-			st.Activated++
-		}
-		st.Processed++
-		computeNS += cm.WorkNS * cost
+		i = run
 	}
+	st.Scanned = uint64(n)
+	cache.FlushTally(tally, &j.Ctr)
+	j.priceChunk(&st, tally, cm, start)
+	return st
+}
+
+// ApplyChunkPerEdge is the reference accounting model: the same canonical
+// access sequence as ApplyChunk, priced one memsim.Cache.Touch at a time —
+// one set-lock acquisition and one atomic update per simulated access, and
+// always the per-edge ProcessEdge path. It exists to verify the batched hot
+// path (core.Config.PerEdgeSim routes a system through it), not for
+// production streaming.
+func (j *Job) ApplyChunkPerEdge(edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
+	start := time.Now()
+	active := j.Prog.Active()
+	var st StreamStats
+	var tally memsim.Tally
+	touch := func(addr uint64) {
+		if cache.Touch(addr, &j.Ctr) {
+			tally.Misses++
+		} else {
+			tally.Hits++
+		}
+	}
+	n := len(edges)
+	for i := 0; i < n; {
+		addr := baseAddr + uint64(first+i)*graph.EdgeSize
+		lineEnd := (addr/memsim.LineSize + 1) * memsim.LineSize
+		run := i + int((lineEnd-addr+graph.EdgeSize-1)/graph.EdgeSize)
+		if run > n {
+			run = n
+		}
+		for k := i; k < run; k++ {
+			touch(baseAddr + uint64(first+k)*graph.EdgeSize)
+		}
+		for k := i; k < run; k++ {
+			e := edges[k]
+			if !active.Has(int(e.Src)) {
+				continue
+			}
+			touch(j.StateBase + uint64(e.Src)*j.VertexPay)
+			touch(j.StateBase + uint64(e.Dst)*j.VertexPay)
+			if j.Prog.ProcessEdge(e) {
+				st.Activated++
+			}
+			st.Processed++
+		}
+		i = run
+	}
+	st.Scanned = uint64(n)
+	j.priceChunk(&st, tally, cm, start)
+	return st
+}
+
+// priceChunk converts a chunk's integer tallies into simulated time and
+// commits the metrics: scan, hit and miss counts each cost a single multiply
+// here instead of an accumulation per access, and both accounting models
+// price through it so their SimMemNS/SimComputeNS agree bit for bit.
+func (j *Job) priceChunk(st *StreamStats, tally memsim.Tally, cm CostModel, start time.Time) {
+	memNS := float64(st.Scanned)*cm.ScanNS +
+		float64(tally.Hits)*cm.LLCHitNS + float64(tally.Misses)*cm.LLCMissNS
+	computeNS := float64(st.Processed) * cm.WorkNS * j.Prog.EdgeCost()
 	st.Elapsed = time.Since(start)
 	j.AddMetrics(Metrics{
 		ScannedEdges:   st.Scanned,
 		ProcessedEdges: st.Processed,
-		SimMemNS:       uint64(accessNS),
+		SimMemNS:       uint64(memNS),
 		SimComputeNS:   uint64(computeNS),
 	})
-	return st
 }

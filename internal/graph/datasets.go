@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // Dataset presets mirror the five graphs in Table 2 of the paper, scaled down
 // so the whole evaluation runs on a laptop in minutes. The *ratios* that drive
 // the paper's results are preserved by pairing each preset with a simulated
@@ -56,16 +58,36 @@ func Spec(name string) (DatasetSpec, bool) {
 	return s, ok
 }
 
-// Dataset generates the preset graph. The generation is deterministic.
+// datasetCache holds each preset graph after its first generation. The
+// presets are the synthetic stand-ins for the paper's fixed on-disk
+// datasets: regenerating half a million R-MAT edges per experiment run was
+// pure overhead, and a Graph is immutable after construction (evolving-graph
+// operations are copy-on-write in core's snapshot store), so one shared
+// instance per preset is safe for every concurrent consumer.
+var (
+	datasetMu    sync.Mutex
+	datasetCache = make(map[string]*Graph)
+)
+
+// Dataset returns the preset graph, generated deterministically on first use
+// and cached for the process lifetime. The returned Graph is shared:
+// callers must treat it as immutable, which every engine substrate already
+// does.
 func Dataset(name string) (*Graph, DatasetSpec, error) {
 	spec, ok := presets[name]
 	if !ok {
 		return nil, DatasetSpec{}, errUnknownDataset(name)
 	}
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
+	if g, ok := datasetCache[name]; ok {
+		return g, spec, nil
+	}
 	g, err := GenerateRMAT(DefaultRMAT(spec.Name, spec.NumV, spec.NumE, spec.Seed))
 	if err != nil {
 		return nil, DatasetSpec{}, err
 	}
+	datasetCache[name] = g
 	return g, spec, nil
 }
 

@@ -48,6 +48,10 @@ type Graph struct {
 	csrOnce  sync.Once
 	csrIndex []uint64
 	csrEdges []Edge
+
+	// Destination-sorted edge view built on demand by SortedByDst.
+	dstOnce   sync.Once
+	dstSorted []Edge
 }
 
 // New creates a graph from an edge list. Edges with endpoints outside
@@ -153,18 +157,25 @@ func (g *Graph) OutEdges(v VertexID) []Edge {
 // ErrNoEdges is returned by operations that need a non-empty edge set.
 var ErrNoEdges = errors.New("graph: graph has no edges")
 
-// SortedByDst returns a copy of the edge list sorted by (Dst, Src); GraphChi
-// shards are built from this order.
+// SortedByDst returns the edge list sorted by (Dst, Src); GraphChi shards
+// are built from this order. The sorted view is computed once (the copy and
+// full sort used to be paid on every call — once per GraphChi build) and
+// cached for the graph's lifetime, so the returned slice is shared and
+// immutable by contract: callers must not modify it. The original Edges
+// order is never touched. Safe for concurrent callers.
 func (g *Graph) SortedByDst() []Edge {
-	out := make([]Edge, len(g.Edges))
-	copy(out, g.Edges)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dst != out[j].Dst {
-			return out[i].Dst < out[j].Dst
-		}
-		return out[i].Src < out[j].Src
+	g.dstOnce.Do(func() {
+		out := make([]Edge, len(g.Edges))
+		copy(out, g.Edges)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Dst != out[j].Dst {
+				return out[i].Dst < out[j].Dst
+			}
+			return out[i].Src < out[j].Src
+		})
+		g.dstSorted = out
 	})
-	return out
+	return g.dstSorted
 }
 
 // Stats summarises a graph for reports and dataset tables.

@@ -168,9 +168,18 @@ func TestSortedByDst(t *testing.T) {
 			t.Fatalf("not sorted by dst at %d: %v after %v", i, s[i], s[i-1])
 		}
 	}
-	// Original untouched.
-	if g.Edges[0].Src != 3 {
+	// Original untouched — the cached sorted view is a separate slice.
+	if g.Edges[0].Src != 3 || g.Edges[1].Src != 1 || g.Edges[2].Src != 2 || g.Edges[3].Src != 0 {
 		t.Fatal("SortedByDst mutated the original edge list")
+	}
+	// Second call returns the same cached backing array (built once), still
+	// sorted, and still leaves the original untouched.
+	s2 := g.SortedByDst()
+	if &s2[0] != &s[0] {
+		t.Fatal("SortedByDst rebuilt the sorted view instead of caching it")
+	}
+	if g.Edges[0].Src != 3 {
+		t.Fatal("second SortedByDst call mutated the original edge list")
 	}
 }
 

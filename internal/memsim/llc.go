@@ -63,7 +63,10 @@ func (c *Counters) MissRate() float64 {
 type Cache struct {
 	ways    int
 	numSets uint64
-	sets    []cacheSet
+	// setShift is log2(numSets): tags are line >> setShift, avoiding a
+	// variable-divisor division on every access of the hot path.
+	setShift uint
+	sets     []cacheSet
 
 	totalMisses atomic.Uint64
 	totalHits   atomic.Uint64
@@ -89,10 +92,12 @@ func NewCache(cfg Config) (*Cache, error) {
 	}
 	// Round down to a power of two for cheap indexing.
 	p := uint64(1)
+	shift := uint(0)
 	for p*2 <= uint64(sets) {
 		p *= 2
+		shift++
 	}
-	c := &Cache{ways: cfg.Ways, numSets: p, sets: make([]cacheSet, p)}
+	c := &Cache{ways: cfg.Ways, numSets: p, setShift: shift, sets: make([]cacheSet, p)}
 	for i := range c.sets {
 		c.sets[i].tags = make([]uint64, cfg.Ways)
 		c.sets[i].clock = make([]uint64, cfg.Ways)
@@ -105,18 +110,36 @@ func (c *Cache) SizeBytes() int64 {
 	return int64(c.numSets) * int64(c.ways) * LineSize
 }
 
+// Tally is a local, unsynchronized accumulator of hit/miss counts. The
+// batched hot path (TouchRun) tallies accesses here instead of bumping the
+// shared atomics per access, and FlushTally folds a whole chunk's deltas
+// into the cache-wide totals and a job's Counters with one atomic add per
+// counter. A Tally must not be shared between goroutines without external
+// synchronization.
+type Tally struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns the number of accesses the tally has accounted.
+func (t Tally) Accesses() uint64 { return t.Hits + t.Misses }
+
+// Add accumulates other into t.
+func (t *Tally) Add(other Tally) {
+	t.Hits += other.Hits
+	t.Misses += other.Misses
+}
+
 // Touch simulates a load of one cache line containing addr, updating ctr (if
 // non-nil) and the cache-wide counters. It reports whether the access missed.
 func (c *Cache) Touch(addr uint64, ctr *Counters) bool {
 	line := addr / LineSize
 	set := &c.sets[line&(c.numSets-1)]
-	tag := line/c.numSets + 1 // +1 so that 0 marks an empty way
+	tag := line>>c.setShift + 1 // +1 so that 0 marks an empty way
 
 	set.mu.Lock()
 	set.tick++
 	tick := set.tick
-	victim := 0
-	var oldest uint64 = ^uint64(0)
 	for w, t := range set.tags {
 		if t == tag {
 			set.clock[w] = tick
@@ -128,11 +151,8 @@ func (c *Cache) Touch(addr uint64, ctr *Counters) bool {
 			}
 			return false
 		}
-		if set.clock[w] < oldest {
-			oldest = set.clock[w]
-			victim = w
-		}
 	}
+	victim := set.evictLocked()
 	set.tags[victim] = tag
 	set.clock[victim] = tick
 	set.mu.Unlock()
@@ -143,6 +163,88 @@ func (c *Cache) Touch(addr uint64, ctr *Counters) bool {
 		ctr.Instructions.Add(1)
 	}
 	return true
+}
+
+// evictLocked picks the LRU way. Split out of the tag scan so the common
+// case (a hit) never pays the clock comparisons.
+func (s *cacheSet) evictLocked() int {
+	victim := 0
+	oldest := s.clock[0]
+	for w := 1; w < len(s.clock); w++ {
+		if s.clock[w] < oldest {
+			oldest = s.clock[w]
+			victim = w
+		}
+	}
+	return victim
+}
+
+// TouchRun simulates n >= 1 back-to-back loads of the single cache line
+// containing addr under one set-lock acquisition. The first access resolves
+// hit-or-miss exactly as Touch does; the remaining n-1 are hits by
+// construction — the line was just referenced and no other access can
+// intervene while the set is locked. The set's LRU state afterwards is
+// bit-identical to n consecutive Touch calls on the same line (the set clock
+// advances by n and the line's stamp lands on the final tick), which is what
+// lets the run-length hot path stand in for the per-edge model: see the
+// equivalence property test and the scenario harness's sim-counter
+// invariant.
+//
+// Counts accumulate into t without touching the shared atomics; callers
+// flush them in batch with FlushTally. TouchRun reports whether the first
+// access missed.
+func (c *Cache) TouchRun(addr, n uint64, t *Tally) bool {
+	if n == 0 {
+		return false
+	}
+	line := addr / LineSize
+	set := &c.sets[line&(c.numSets-1)]
+	tag := line>>c.setShift + 1
+
+	set.mu.Lock()
+	set.tick += n
+	tick := set.tick
+	for w, tg := range set.tags {
+		if tg == tag {
+			set.clock[w] = tick
+			set.mu.Unlock()
+			t.Hits += n
+			return false
+		}
+	}
+	victim := set.evictLocked()
+	set.tags[victim] = tag
+	set.clock[victim] = tick
+	set.mu.Unlock()
+
+	t.Misses++
+	t.Hits += n - 1
+	return true
+}
+
+// FlushTally folds a batch of tallied accesses into the cache-wide totals
+// and into ctr (if non-nil), with one atomic add per counter — the batched
+// equivalent of the per-access updates Touch performs. The hot path calls it
+// once per applied chunk.
+func (c *Cache) FlushTally(t Tally, ctr *Counters) {
+	if t.Hits != 0 {
+		c.totalHits.Add(t.Hits)
+	}
+	if t.Misses != 0 {
+		c.totalMisses.Add(t.Misses)
+	}
+	if ctr == nil {
+		return
+	}
+	if t.Hits != 0 {
+		ctr.Hits.Add(t.Hits)
+	}
+	if t.Misses != 0 {
+		ctr.Misses.Add(t.Misses)
+	}
+	if n := t.Hits + t.Misses; n != 0 {
+		ctr.Instructions.Add(n)
+	}
 }
 
 // TouchRange simulates a sequential scan of [addr, addr+n) and reports the

@@ -1,0 +1,122 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTouchRunEquivalentToTouches is the property the batched hot path
+// rests on: a TouchRun of n accesses is observably equivalent to n per-edge
+// Touch calls on the same line — the same hit/miss counts accumulate, and
+// the cache is left in the same LRU state. The replayed streams are random
+// (addresses and run lengths), and the final-state comparison is behavioral:
+// after the divergence-prone replay, both caches must answer an identical
+// probe stream identically, which exposes any difference in resident tags
+// or LRU ordering as a differing miss.
+func TestTouchRunEquivalentToTouches(t *testing.T) {
+	type op struct {
+		Addr uint16
+		N    uint8
+	}
+	cfg := Config{SizeBytes: 4 << 10, Ways: 4} // small: evictions are common
+	f := func(ops []op, probeSeed int64) bool {
+		perEdge, err := NewCache(cfg)
+		if err != nil {
+			return false
+		}
+		batched, _ := NewCache(cfg)
+		var perCtr, batCtr Counters
+		var tally Tally
+		for _, o := range ops {
+			n := uint64(o.N%6) + 1 // run lengths 1..6, like 12-byte edges in a 64-byte line
+			addr := uint64(o.Addr)
+			firstMiss := false
+			for k := uint64(0); k < n; k++ {
+				m := perEdge.Touch(addr, &perCtr)
+				if k == 0 {
+					firstMiss = m
+				} else if m {
+					return false // later accesses of a run must hit
+				}
+			}
+			if got := batched.TouchRun(addr, n, &tally); got != firstMiss {
+				return false
+			}
+		}
+		batched.FlushTally(tally, &batCtr)
+		if perCtr.Hits.Load() != batCtr.Hits.Load() ||
+			perCtr.Misses.Load() != batCtr.Misses.Load() ||
+			perCtr.Instructions.Load() != batCtr.Instructions.Load() {
+			return false
+		}
+		if perEdge.TotalHits() != batched.TotalHits() ||
+			perEdge.TotalMisses() != batched.TotalMisses() {
+			return false
+		}
+		// Behavioral LRU probe: stream fresh conflicting lines through both
+		// caches one access at a time; any divergence in resident tags or
+		// victim ordering left behind by the replay shows up as a miss
+		// mismatch.
+		rng := rand.New(rand.NewSource(probeSeed))
+		for i := 0; i < 512; i++ {
+			addr := uint64(rng.Intn(1 << 16))
+			if perEdge.Touch(addr, nil) != batched.Touch(addr, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTouchRunZeroLength pins the degenerate case: no accesses, no state
+// change, no counts.
+func TestTouchRunZeroLength(t *testing.T) {
+	c, err := NewCache(DefaultConfig(64 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tally Tally
+	if c.TouchRun(0, 0, &tally) {
+		t.Fatal("zero-length run reported a miss")
+	}
+	if tally.Accesses() != 0 {
+		t.Fatalf("zero-length run tallied %d accesses", tally.Accesses())
+	}
+	if !c.Touch(0, nil) {
+		t.Fatal("zero-length run changed cache state (line became resident)")
+	}
+}
+
+// TestFlushTallyConservation checks the flush folds exactly the tallied
+// counts into both counter sinks, including the nil-ctr form.
+func TestFlushTallyConservation(t *testing.T) {
+	c, _ := NewCache(DefaultConfig(64 << 10))
+	var tally Tally
+	for i := 0; i < 100; i++ {
+		c.TouchRun(uint64(i)*LineSize, 3, &tally)
+	}
+	if got := tally.Accesses(); got != 300 {
+		t.Fatalf("tally accesses = %d, want 300", got)
+	}
+	var ctr Counters
+	c.FlushTally(tally, &ctr)
+	if ctr.Hits.Load() != tally.Hits || ctr.Misses.Load() != tally.Misses {
+		t.Fatalf("ctr %d/%d after flush, want %d/%d",
+			ctr.Hits.Load(), ctr.Misses.Load(), tally.Hits, tally.Misses)
+	}
+	if ctr.Instructions.Load() != 300 {
+		t.Fatalf("instructions = %d, want 300", ctr.Instructions.Load())
+	}
+	if c.TotalHits() != tally.Hits || c.TotalMisses() != tally.Misses {
+		t.Fatalf("cache totals %d/%d, want %d/%d",
+			c.TotalHits(), c.TotalMisses(), tally.Hits, tally.Misses)
+	}
+	c.FlushTally(Tally{}, nil) // no-op form must not panic or count
+	if c.TotalHits() != tally.Hits {
+		t.Fatal("empty flush moved the totals")
+	}
+}

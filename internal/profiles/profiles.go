@@ -1,0 +1,47 @@
+// Package profiles is the tiny shared pprof plumbing behind the CLIs'
+// -cpuprofile/-memprofile flags, so future perf work can profile the bench
+// harness and the serve path without re-implementing file handling.
+package profiles
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and returns a stop
+// function that ends the CPU profile and writes a heap profile to memPath
+// (if non-empty). Either path may be empty; the stop function is always
+// non-nil and safe to call exactly once.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiles: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiles: starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiles: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiles: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -169,6 +169,10 @@ type JobResult struct {
 	Metrics  engine.Metrics
 	Work     engine.WorkCounters
 	Detached bool
+	// LLCHits/LLCMisses are the job's simulated cache counters — compared by
+	// CheckSimEqual between the run-length and per-edge accounting models.
+	LLCHits   uint64
+	LLCMisses uint64
 }
 
 // Result is one scripted run's outcome.
@@ -258,11 +262,13 @@ func Run(env Env, cc core.Config, script Script) (*Result, error) {
 		CacheMisses: env.Cache.TotalMisses(), CacheHits: env.Cache.TotalHits()}
 	for id, j := range r.jobs {
 		res.Jobs[id] = &JobResult{
-			Spec:     specByID(script, id),
-			Prog:     r.progs[id],
-			Metrics:  j.Met,
-			Work:     j.Met.Work(),
-			Detached: r.detached[id],
+			Spec:      specByID(script, id),
+			Prog:      r.progs[id],
+			Metrics:   j.Met,
+			Work:      j.Met.Work(),
+			Detached:  r.detached[id],
+			LLCHits:   j.Ctr.Hits.Load(),
+			LLCMisses: j.Ctr.Misses.Load(),
 		}
 	}
 	return res, nil
@@ -485,6 +491,42 @@ func CheckWorkEqual(a, b *Result) error {
 		}
 		if ja.Work != jb.Work {
 			return fmt.Errorf("scenario: job %d work differs: %+v vs %+v", id, ja.Work, jb.Work)
+		}
+	}
+	return nil
+}
+
+// CheckSimEqual asserts two runs did identical simulated LLC work: equal
+// cache-wide hit and miss totals, and equal per-job LLC counters and
+// simulated times for every non-detached job. This is the equivalence proof
+// between the run-length accounting hot path (engine.Job.ApplyChunk) and
+// the per-edge reference model (core.Config.PerEdgeSim): under the serial
+// driver with a deterministic access schedule — one job, or any script
+// whose cache-access interleaving is schedule-independent — the two models
+// must count every hit and miss identically. Unlike CheckWorkEqual this is
+// intentionally stronger than the cross-schedule contract (LLC counters DO
+// shift with worker interleavings), so only compare runs that used the same
+// serial schedule.
+func CheckSimEqual(a, b *Result) error {
+	if a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
+		return fmt.Errorf("scenario: cache-wide LLC counters differ: %d hits/%d misses vs %d/%d",
+			a.CacheHits, a.CacheMisses, b.CacheHits, b.CacheMisses)
+	}
+	for id, ja := range a.Jobs {
+		jb, ok := b.Jobs[id]
+		if !ok {
+			return fmt.Errorf("scenario: job %d missing from second run", id)
+		}
+		if ja.Detached || jb.Detached {
+			continue
+		}
+		if ja.LLCHits != jb.LLCHits || ja.LLCMisses != jb.LLCMisses {
+			return fmt.Errorf("scenario: job %d LLC counters differ: %d hits/%d misses vs %d/%d",
+				id, ja.LLCHits, ja.LLCMisses, jb.LLCHits, jb.LLCMisses)
+		}
+		if ja.Metrics.SimMemNS != jb.Metrics.SimMemNS || ja.Metrics.SimComputeNS != jb.Metrics.SimComputeNS {
+			return fmt.Errorf("scenario: job %d simulated time differs: mem %d vs %d, compute %d vs %d",
+				id, ja.Metrics.SimMemNS, jb.Metrics.SimMemNS, ja.Metrics.SimComputeNS, jb.Metrics.SimComputeNS)
 		}
 	}
 	return nil

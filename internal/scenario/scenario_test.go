@@ -147,6 +147,82 @@ func TestScenarioDeterministicRepeat(t *testing.T) {
 	}
 }
 
+// TestScenarioSimEqualPerEdgeVsRunLength is the accounting-model invariant:
+// under the serial driver with a single job — the one configuration whose
+// LLC access schedule is fully deterministic — the batched run-length hot
+// path and the per-edge reference model must count every hit and miss
+// identically, price identical simulated time, do identical work, and
+// produce bit-identical outputs. Run for both a BatchProgram algorithm
+// (PageRank, which also exercises ProcessEdges) and a frontier algorithm
+// (BFS via the rotation seed — inactive-source runs dominate).
+func TestScenarioSimEqualPerEdgeVsRunLength(t *testing.T) {
+	progs := map[string]func() engine.Program{
+		"pagerank": func() engine.Program { return algorithms.NewPageRank(0.85, 5) },
+		"wcc":      func() engine.Program { return algorithms.NewWCC(6) },
+		"bfs":      func() engine.Program { return algorithms.NewBFS(1) },
+	}
+	for name, mk := range progs {
+		t.Run(name, func(t *testing.T) {
+			script := scenario.Script{Initial: []scenario.JobSpec{{ID: 1, Seed: 5, New: mk}}}
+			run := func(perEdge bool) *scenario.Result {
+				env, _ := testEnv(t)
+				cfg := runCfg(0, false)
+				cfg.PerEdgeSim = perEdge
+				res, err := scenario.Run(env, cfg, script)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := scenario.CheckClean(env, res); err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			batched := run(false)
+			perEdge := run(true)
+			if batched.CacheHits == 0 || batched.CacheMisses == 0 {
+				t.Fatal("run recorded no LLC traffic — the invariant would be vacuous")
+			}
+			if err := scenario.CheckSimEqual(batched, perEdge); err != nil {
+				t.Fatal(err)
+			}
+			if err := scenario.CheckWorkEqual(batched, perEdge); err != nil {
+				t.Fatal(err)
+			}
+			if name != "bfs" { // outputsEqual supports PageRank and WCC
+				if err := scenario.CheckOutputsEqual(batched, perEdge); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioPerEdgeModelMatchesAcrossRamp runs the full dynamic ramp under
+// the per-edge reference model: the schedule-independent contract (work
+// counters, bit-identical outputs) must hold between accounting models even
+// where exact LLC counts are schedule-dependent (concurrent jobs interleave
+// set accesses differently per model).
+func TestScenarioPerEdgeModelMatchesAcrossRamp(t *testing.T) {
+	batched := mustRun(t, 0, false)
+	env, _ := testEnv(t)
+	script := testScript(t, env)
+	cfg := runCfg(0, false)
+	cfg.PerEdgeSim = true
+	perEdge, err := scenario.Run(env, cfg, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.CheckClean(env, perEdge); err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.CheckWorkEqual(batched, perEdge); err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.CheckOutputsEqual(batched, perEdge); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestScenarioResultsCorrect anchors the harness to ground truth: a plain
 // ramp (no graph mutations) run under adaptive chunking and the executor
 // must still reproduce the reference PageRank and WCC solutions exactly.
