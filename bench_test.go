@@ -39,6 +39,11 @@ func runExperiment(b *testing.B, name string, jobs int) {
 	}
 }
 
+// BenchmarkReplay replays two days of the week-in-the-life trace through
+// the admission service on a virtual clock at three in-flight caps — the
+// service-era successor of the Figure 15 trace replay.
+func BenchmarkReplay(b *testing.B) { runExperiment(b, "replay", 16) }
+
 // BenchmarkParallelExecutor runs the streaming-executor worker sweep: the
 // out-of-core workload at 1/2/4/8 real workers, reporting wall-clock
 // speedup, peak in-flight streams and the (flat) simulated makespan.

@@ -73,4 +73,32 @@
 // The `hotpath` bench experiment reports streaming throughput (Medges/s)
 // for the serial driver and the executor sweep; its serial variant is
 // pinned by the CI perf gate.
+//
+// # Trace replay on a virtual clock
+//
+// internal/replay drives the paper's motivating week-long trace (Figure 2,
+// synthesized by internal/trace) through the admission service with no
+// wall-time sleeps: a discrete-event loop owns a core.VirtualClock
+// (injected via service.Config.Clock) and plays arrivals and virtual job
+// departures in simulated-time order, while every job genuinely streams
+// the graph through core.System. Drivers that finish streaming park in
+// service.Config.FinishGate until their virtual departure, so queue waits,
+// runtimes and admission order are a pure function of (trace, seed) — the
+// ticket log is byte-identical across same-seed runs, a week replays in
+// seconds, and the report carries p50/p99 queue waits, per-tenant
+// admission counters and the Figure 4 shared fraction next to the real
+// controller counters. cmd/graphm-replay is the CLI; the `replay` bench
+// experiment sweeps the in-flight cap (the Figure 15 shape).
+//
+// # Differential scenario fuzzing
+//
+// internal/scenario additionally generates its own dynamic-concurrency
+// scripts: GenerateScript draws a valid barrier-anchored timeline from a
+// seed, DiffCheck replays it across executor configurations (serial vs
+// worker pool, static vs adaptive chunking, per-edge vs run-length LLC
+// accounting) and applies every invariant the harness owns, and Minimize
+// shrinks failures to corpus-ready counterexamples
+// (internal/scenario/testdata/corpus, replayed as regressions). CI runs 50
+// fixed-seed scripts per push; GRAPHM_FUZZ_SCRIPTS and a native go-fuzz
+// target scale it to nightly length.
 package graphm

@@ -22,7 +22,7 @@ import (
 type PageRank struct {
 	Damping   float64 // set by Reset from rng if zero
 	MaxIters  int     // default 10
-	Tolerance float64 // early exit when total delta falls below; default 1e-7
+	Tolerance float64 // early exit when total delta falls below; 0 means the 1e-7 default, negative disables the exit
 
 	g       *graph.Graph
 	rank    []float64

@@ -4,9 +4,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
+
+	"graphm/internal/goldentest"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden table-layout files")
@@ -16,25 +17,6 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden table-layout f
 // a motivation figure, the trace-similarity figure, and the new adaptive
 // experiment — while staying cheap enough for the unit-test suite.
 var goldenExperiments = []string{"fig2", "fig4", "adaptive"}
-
-var (
-	numberRun = regexp.MustCompile(`[0-9]+`)
-	spaceRun  = regexp.MustCompile(`[ \t]+`)
-)
-
-// normalizeTable masks every numeric token and collapses the padding that
-// tracks value widths, so the golden files pin the *layout* — titles,
-// headers, row and column counts, notes — under a fixed seed, while
-// timing-dependent cells (wall clocks, counter noise) cannot flap the test.
-func normalizeTable(s string) string {
-	var out []string
-	for _, line := range strings.Split(s, "\n") {
-		line = numberRun.ReplaceAllString(line, "#")
-		line = spaceRun.ReplaceAllString(line, " ")
-		out = append(out, strings.TrimRight(line, " "))
-	}
-	return strings.Join(out, "\n")
-}
 
 // TestGoldenTableLayouts fails loudly when an experiment's table formatting
 // drifts: changed headers, lost rows or columns, reworded notes. Refresh
@@ -47,7 +29,7 @@ func TestGoldenTableLayouts(t *testing.T) {
 			if err := h.Run(name); err != nil {
 				t.Fatal(err)
 			}
-			got := normalizeTable(buf.String())
+			got := goldentest.Normalize(buf.String())
 			path := filepath.Join("testdata", name+".golden")
 			if *updateGolden {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -70,12 +52,6 @@ func TestGoldenTableLayouts(t *testing.T) {
 	}
 }
 
-// TestNormalizeTable pins the normalizer itself: masked numbers, collapsed
-// padding, preserved structure.
-func TestNormalizeTable(t *testing.T) {
-	in := "== t ==\na    bb\n1    22.5ms\nnote: 95% at 1.5x\n"
-	want := "== t ==\na bb\n# #.#ms\nnote: #% at #.#x\n"
-	if got := normalizeTable(in); got != want {
-		t.Fatalf("normalize = %q, want %q", got, want)
-	}
-}
+// The normalizer itself (masked numbers, collapsed padding and duration
+// units) lives in internal/goldentest with its own pinning tests, shared
+// with cmd/graphm-replay's golden test.

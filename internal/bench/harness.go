@@ -77,6 +77,7 @@ var experiments = []experiment{
 	{"openloop", "open-loop arrivals: online admission vs arrival rate", (*Harness).openloop},
 	{"parallel", "streaming-executor worker sweep: wall-clock speedup vs workers", (*Harness).parallel},
 	{"adaptive", "adaptive chunk re-labelling: static vs barrier-relabelled chunking on an attach/detach ramp", (*Harness).adaptive},
+	{"replay", "week-in-the-life trace replay through the admission service on a virtual clock", (*Harness).replayExperiment},
 	{"hotpath", "chunk-apply hot-path throughput (Medges/s), serial + worker sweep", (*Harness).hotpath},
 	{"hotpath-serial", "hot-path throughput, serial driver only (the perf-gate variant)", (*Harness).hotpathSerial},
 }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvanceAndSet(t *testing.T) {
+	base := time.Unix(0, 0).UTC()
+	c := NewVirtualClock(base)
+	if got := c.Now(); !got.Equal(base) {
+		t.Fatalf("Now = %v, want %v", got, base)
+	}
+	if got := c.Advance(time.Hour); !got.Equal(base.Add(time.Hour)) {
+		t.Fatalf("Advance returned %v", got)
+	}
+	if got := c.Now(); !got.Equal(base.Add(time.Hour)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+	at := base.Add(42 * time.Hour)
+	c.Set(at)
+	if got := c.Now(); !got.Equal(at) {
+		t.Fatalf("Now after Set = %v, want %v", got, at)
+	}
+}
+
+func TestVirtualClockConcurrentReaders(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = c.Now()
+			}
+		}()
+	}
+	for j := 0; j < 100; j++ {
+		c.Advance(time.Second)
+	}
+	wg.Wait()
+	if got := c.Now(); !got.Equal(time.Unix(100, 0).UTC()) {
+		t.Fatalf("final time = %v", got)
+	}
+}
+
+func TestWallClockMovesForward(t *testing.T) {
+	var c Clock = WallClock{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}

@@ -39,7 +39,7 @@ func TestMidRoundAttachCompletesFullIteration(t *testing.T) {
 	r := newRig(t, 600, 5000, 4, core.DefaultConfig(64<<10))
 
 	long := algorithms.NewPageRank(0.85, 30)
-	long.Tolerance = 0
+	long.Tolerance = -1 // negative disables the early exit; 0 would mean Reset's 1e-7 default
 	jLong := engine.NewJob(1, long, 21)
 	sessLong, err := r.sys.OpenSession(jLong)
 	if err != nil {
@@ -108,7 +108,11 @@ func TestDetachWithdrawsEndlessJob(t *testing.T) {
 	r := newRig(t, 600, 5000, 4, core.DefaultConfig(64<<10))
 
 	endless := algorithms.NewPageRank(0.85, 1_000_000)
-	endless.Tolerance = 0
+	// Negative tolerance disables the early exit entirely; zero would be
+	// replaced by Reset's 1e-7 default, and PageRank on this small graph
+	// reaches that within the test's polling sleep — the job would converge
+	// naturally before the detach landed and Detaches would stay 0.
+	endless.Tolerance = -1
 	jEndless := engine.NewJob(1, endless, 31)
 	sessEndless, err := r.sys.OpenSession(jEndless)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"graphm/internal/graph"
 )
@@ -63,7 +64,8 @@ func (s *System) AddEdges(edges []graph.Edge) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	version := s.snaps.currentVersion()
-	for pid, add := range groups {
+	for _, pid := range sortedPartitionIDs(groups) {
+		add := groups[pid]
 		k, err := s.lastChunkLocked(pid)
 		if err != nil {
 			return 0, err
@@ -89,12 +91,12 @@ func (s *System) AddEdgesFor(jobID int, edges []graph.Edge) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for pid, add := range groups {
+	for _, pid := range sortedPartitionIDs(groups) {
 		k, err := s.lastChunkLocked(pid)
 		if err != nil {
 			return err
 		}
-		add := add
+		add := groups[pid]
 		if err := s.mutateChunkLocked(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
 			return append(cur, add...)
 		}); err != nil {
@@ -186,6 +188,22 @@ func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed 
 		s.mu.Unlock()
 	}
 	return removed, nil
+}
+
+// sortedPartitionIDs fixes the installation order of a multi-partition
+// update/mutation. Iterating the group map directly let Go's randomized map
+// order decide which partition's copy-on-write chunk got which simulated
+// address — and since addresses feed the LLC set indexing, the same script
+// could count one access a hit in one run and a miss in the next. Found by
+// the scenario fuzzer (corpus seed multi-partition-update); partition order
+// must be deterministic.
+func sortedPartitionIDs(groups map[int][]graph.Edge) []int {
+	pids := make([]int, 0, len(groups))
+	for pid := range groups {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	return pids
 }
 
 // groupBySourcePartition validates endpoints and buckets edges by the

@@ -1,0 +1,38 @@
+// Package goldentest holds the table normalizer shared by the repo's
+// golden-file layout tests (internal/bench's experiment tables,
+// cmd/graphm-replay's summary). One implementation, one set of unit-boundary
+// pins: a wall-clock cell rendering as 999ms in one run and 1.0s in the next
+// must normalize identically everywhere.
+package goldentest
+
+import (
+	"regexp"
+	"strings"
+)
+
+var (
+	numberRun = regexp.MustCompile(`[0-9]+`)
+	spaceRun  = regexp.MustCompile(`[ \t]+`)
+	// durationRun collapses masked Go duration renderings (#ms, #.#s,
+	// #m#.#s, #h#m#.#s, ...) to one token, so a timing cell crossing a unit
+	// boundary between runs cannot flap a layout golden. The continuation
+	// group repeats the full unit set: Go renders above-the-hour values as
+	// h/m/s compounds, and dropping m from the continuation would split
+	// "1h0m0.1s" into two tokens while "59m59.9s" stays one.
+	durationRun = regexp.MustCompile(`#(\.#)?(ns|µs|us|ms|s|m|h)(#(\.#)?(ns|µs|us|ms|s|m|h))*`)
+)
+
+// Normalize masks every numeric token (durations unit and all) and
+// collapses the padding that tracks value widths, so golden files pin the
+// *layout* — titles, headers, row and column counts, notes — under a fixed
+// seed, while timing-dependent cells and counter noise cannot flap a test.
+func Normalize(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		line = numberRun.ReplaceAllString(line, "#")
+		line = durationRun.ReplaceAllString(line, "#t")
+		line = spaceRun.ReplaceAllString(line, " ")
+		out = append(out, strings.TrimRight(line, " "))
+	}
+	return strings.Join(out, "\n")
+}

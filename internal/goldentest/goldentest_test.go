@@ -1,0 +1,32 @@
+package goldentest
+
+import "testing"
+
+// TestNormalize pins the normalizer: masked numbers, collapsed padding and
+// duration units, preserved structure.
+func TestNormalize(t *testing.T) {
+	in := "== t ==\na    bb\n1    22.5ms\nnote: 95% at 1.5x\n"
+	want := "== t ==\na bb\n# #t\nnote: #% at #.#x\n"
+	if got := Normalize(in); got != want {
+		t.Fatalf("normalize = %q, want %q", got, want)
+	}
+}
+
+// TestNormalizeUnitBoundaries: the same wall value rendered on either side
+// of a unit boundary must normalize identically — the failure mode that
+// motivated duration masking (an adaptive-experiment golden recorded at
+// #.#s flapped on a faster runner printing #ms).
+func TestNormalizeUnitBoundaries(t *testing.T) {
+	cases := [][2]string{
+		{"wall 999ms", "wall 1.01s"},
+		{"wall 1m2.3s", "wall 59.9s"},
+		{"wall 59m59.9s", "wall 1h0m0.1s"},
+		{"io 850µs", "io 1.2ms"},
+		{"t 999ns", "t 1.1µs"},
+	}
+	for _, c := range cases {
+		if a, b := Normalize(c[0]), Normalize(c[1]); a != b {
+			t.Fatalf("unit-dependent masking: %q -> %q vs %q -> %q", c[0], a, c[1], b)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package replay_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"graphm/internal/replay"
+	"graphm/internal/service"
+)
+
+// TestReplayWeekDeterministic is the acceptance bar for the harness: the
+// full 168-hour Figure 2 trace, replayed twice with the same seed, must
+// produce byte-identical ticket logs and identical aggregate metrics — and
+// both replays together must stay inside the unit-test time budget (the
+// virtual clock, not wall sleeps, is what makes a week cheap).
+func TestReplayWeekDeterministic(t *testing.T) {
+	cfg := replay.Config{Hours: 168, Seed: 42}
+	a, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogText() != b.LogText() {
+		t.Fatal("same-seed replays produced different ticket logs")
+	}
+	if a.Submitted < 1000 {
+		t.Fatalf("week trace produced only %d submissions — trace shape broken", a.Submitted)
+	}
+	if a.WaitP50 != b.WaitP50 || a.WaitP99 != b.WaitP99 || a.MeanConcurrency != b.MeanConcurrency ||
+		a.SharedFraction != b.SharedFraction || a.PeakConcurrency != b.PeakConcurrency {
+		t.Fatal("same-seed replays disagree on aggregate metrics")
+	}
+	// A different seed must actually change the schedule.
+	c, err := replay.Run(replay.Config{Hours: 168, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LogText() == a.LogText() {
+		t.Fatal("different seeds produced identical ticket logs")
+	}
+}
+
+// TestReplayMatchesPaperShape checks the replayed week lands on the paper's
+// workload statistics: mean in-flight concurrency near the trace's ~16,
+// sharing above the 82% headline, real peaks pressed against the admission
+// cap, and genuine sharing in the real execution underneath.
+func TestReplayMatchesPaperShape(t *testing.T) {
+	rep, err := replay.Run(replay.Config{Hours: 168, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanConcurrency < 10 || rep.MeanConcurrency > 20 {
+		t.Errorf("mean virtual concurrency = %.1f, want ~16", rep.MeanConcurrency)
+	}
+	if rep.PeakConcurrency != rep.Cfg.MaxInFlight {
+		t.Errorf("peak concurrency = %d, want pressed against the cap %d (trace peaks >30)",
+			rep.PeakConcurrency, rep.Cfg.MaxInFlight)
+	}
+	if rep.SharedFraction < 0.82 {
+		t.Errorf("shared fraction = %.3f, want >= 0.82 (paper fig 4)", rep.SharedFraction)
+	}
+	if rep.WaitMax <= 0 {
+		t.Error("no ticket ever queued: the >30-job peaks should exceed the in-flight cap")
+	}
+	if rep.SysStats.SharedLoads == 0 || rep.SysStats.MidRoundJoins == 0 {
+		t.Errorf("real execution shows no sharing (shared loads %d, mid-round joins %d)",
+			rep.SysStats.SharedLoads, rep.SysStats.MidRoundJoins)
+	}
+	if rep.Completed != rep.Admitted {
+		t.Errorf("completed %d != admitted %d (no cancellations in a replay)", rep.Completed, rep.Admitted)
+	}
+}
+
+// TestReplayAccountingConsistent cross-checks every counter in a short
+// replay: totals, per-tenant slices, the log line count, and the virtual
+// timestamps of each ticket.
+func TestReplayAccountingConsistent(t *testing.T) {
+	rep, err := replay.Run(replay.Config{Hours: 24, Seed: 11, Tenants: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d tickets failed", rep.Failed)
+	}
+	if rep.Submitted != rep.Admitted+rep.Rejected {
+		t.Fatalf("submitted %d != admitted %d + rejected %d", rep.Submitted, rep.Admitted, rep.Rejected)
+	}
+	var sub, adm, rej, comp int
+	for _, name := range rep.TenantNames() {
+		ts := rep.Tenant(name)
+		sub += ts.Submitted
+		adm += ts.Admitted
+		rej += ts.Rejected
+		comp += ts.Completed
+	}
+	if sub != rep.Submitted || adm != rep.Admitted || rej != rep.Rejected || comp != rep.Completed {
+		t.Fatalf("per-tenant sums (%d/%d/%d/%d) disagree with totals (%d/%d/%d/%d)",
+			sub, adm, rej, comp, rep.Submitted, rep.Admitted, rep.Rejected, rep.Completed)
+	}
+	// Every accepted ticket logs submit+admit+done; every rejection one line.
+	want := 3*rep.Admitted + rep.Rejected
+	if len(rep.Log) != want {
+		t.Fatalf("log has %d lines, want %d", len(rep.Log), want)
+	}
+	if rep.PeakConcurrency > rep.Cfg.MaxInFlight {
+		t.Fatalf("peak concurrency %d exceeds the admission cap %d", rep.PeakConcurrency, rep.Cfg.MaxInFlight)
+	}
+	if rep.Snap.Completed != uint64(rep.Completed) {
+		t.Fatalf("service snapshot completed %d != report %d", rep.Snap.Completed, rep.Completed)
+	}
+}
+
+// TestReplayVirtualRuntimes: each ticket's service-reported Runtime (from
+// the injected virtual clock) must equal its scheduled virtual duration, and
+// waits must be non-negative — the clock plumbing, end to end.
+func TestReplayVirtualRuntimes(t *testing.T) {
+	rep, err := replay.Run(replay.Config{Hours: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, line := range rep.Log {
+		if !strings.Contains(line, " done ") && !strings.HasPrefix(strings.SplitN(line, " ", 2)[1], "done") {
+			continue
+		}
+		checked++
+	}
+	// The run= field of each done line is the virtual runtime; spot-check the
+	// log carries it for every completion.
+	if checked != rep.Completed {
+		t.Fatalf("found %d done lines, want %d", checked, rep.Completed)
+	}
+	if rep.WaitMean < 0 || rep.WaitP99 < rep.WaitP50 || rep.WaitMax < rep.WaitP99 {
+		t.Fatalf("wait distribution inconsistent: mean=%v p50=%v p99=%v max=%v",
+			rep.WaitMean, rep.WaitP50, rep.WaitP99, rep.WaitMax)
+	}
+	if math.IsNaN(rep.MeanConcurrency) || rep.MeanConcurrency <= 0 {
+		t.Fatalf("mean concurrency = %v", rep.MeanConcurrency)
+	}
+}
+
+// TestReplayBackpressure: with brutally tight queues the replay must reject
+// deterministically rather than deadlock or buffer without bound.
+func TestReplayBackpressure(t *testing.T) {
+	cfg := replay.Config{Hours: 24, Seed: 5, MaxInFlight: 2, MaxQueuedPerTenant: 1, MaxQueued: 2}
+	a, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rejected == 0 {
+		t.Fatal("tight queues rejected nothing — backpressure never engaged")
+	}
+	b, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogText() != b.LogText() {
+		t.Fatal("backpressure schedule not deterministic")
+	}
+}
+
+// TestReplayWorkersExecutor runs the replay over the parallel streaming
+// executor: the deterministic contract (byte-identical log across same-seed
+// runs) must hold for any executor width, because virtual scheduling never
+// reads real completion times.
+func TestReplayWorkersExecutor(t *testing.T) {
+	cfg := replay.Config{Hours: 12, Seed: 9, Workers: 2}
+	a, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogText() != b.LogText() {
+		t.Fatal("executor replay not deterministic")
+	}
+	// And the virtual schedule is independent of the executor width: the
+	// serial driver must produce the identical ticket log.
+	serial, err := replay.Run(replay.Config{Hours: 12, Seed: 9, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.LogText() != a.LogText() {
+		t.Fatal("ticket log depends on executor width — virtual time leaked real time")
+	}
+}
+
+// TestReplaySummaryRendered sanity-checks the summary renderer (the full
+// layout is pinned by the graphm-replay golden test).
+func TestReplaySummaryRendered(t *testing.T) {
+	rep, err := replay.Run(replay.Config{Hours: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.Summary(&sb)
+	out := sb.String()
+	for _, want := range []string{"== replay:", "tickets:", "queue wait", "shared fraction", "per tenant", "real execution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTicketStatusStringsStable pins the status strings the ticket log
+// embeds; renaming one silently changes the byte-identical log format.
+func TestTicketStatusStringsStable(t *testing.T) {
+	if service.StatusDone.String() != "done" || service.StatusFailed.String() != "failed" {
+		t.Fatalf("ticket status strings changed: %q/%q",
+			service.StatusDone.String(), service.StatusFailed.String())
+	}
+}

@@ -32,6 +32,14 @@
 //     structure whose ranking does not depend on how many jobs a round
 //     counted at formation, so each job streams partitions in the same
 //     order however the round boundary raced.
+//   - Aim MutatePrivate events only at the triggering job. The trigger has
+//     finished every chunk of the partition it holds open, so its own next
+//     snapshot resolve is strictly ordered after the install; any
+//     co-attending target may still be streaming that partition's final
+//     chunk (chunkDone never waits for followers), and whether its resolve
+//     beats the install is a goroutine race that shifts the target's work
+//     by the mutated edges. (Found by the differential fuzzer as a
+//     one-edge ScannedEdges divergence.)
 //
 // Under those rules the schedule-independent work counters
 // (engine.Metrics.Work) and the algorithm outputs are identical across the

@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"graphm/internal/core"
 )
@@ -50,6 +49,22 @@ type Config struct {
 	MaxQueued int
 	// Seed derives per-job RNG seeds for requests that leave Seed zero.
 	Seed int64
+	// Clock is the time source for ticket lifecycle timestamps (queued,
+	// admitted, done). Nil means core.WallClock. The replay harness injects a
+	// core.VirtualClock so queue waits and runtimes are measured in simulated
+	// trace time; the clock is only ever read while the replay's event loop
+	// holds it at a deterministic instant.
+	Clock core.Clock
+	// FinishGate, when set, is called by each driver goroutine after its job
+	// has fully streamed and closed its session, immediately before the
+	// ticket turns terminal (and before its in-flight slot is released). The
+	// replay harness parks drivers here until the virtual clock reaches the
+	// job's simulated departure time, so the ticket's doneAt — and the
+	// admission instant of whichever queued ticket its slot admits next —
+	// land on the scheduled virtual time instead of the real streaming
+	// duration. The callee must eventually return: Drain and Shutdown wait
+	// for every gated driver.
+	FinishGate func(*Ticket)
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueued <= 0 {
 		c.MaxQueued = 4 * c.MaxQueuedPerTenant
+	}
+	if c.Clock == nil {
+		c.Clock = core.WallClock{}
 	}
 	return c
 }
@@ -159,7 +177,7 @@ func (s *Service) Submit(req Request) (*Ticket, error) {
 		seed = deriveSeed(s.cfg.Seed, s.nextID)
 	}
 	t := newTicket(s.nextID, tenant, algo, prog, seed)
-	t.queuedAt = time.Now()
+	t.queuedAt = s.cfg.Clock.Now()
 	s.tickets[t.ID] = t
 	if _, seen := s.queues[tenant]; !seen {
 		s.tenantOrder = append(s.tenantOrder, tenant)
@@ -192,12 +210,12 @@ func (s *Service) admitLocked() {
 			t.mu.Lock()
 			t.status = StatusFailed
 			t.err = err
-			t.doneAt = time.Now()
+			t.doneAt = s.cfg.Clock.Now()
 			t.mu.Unlock()
 			close(t.done)
 			continue
 		}
-		now := time.Now()
+		now := s.cfg.Clock.Now()
 		stats := s.sys.StatsSnapshot()
 		t.mu.Lock()
 		t.status = StatusAdmitted
@@ -279,6 +297,12 @@ func (s *Service) drive(t *Ticket) {
 		sess.EndIteration()
 	}
 	sess.Close()
+	// The session is fully deregistered from the sharing controller before
+	// the gate: a parked driver holds only its service in-flight slot, never
+	// core state, so gated tickets cannot stall other jobs' rounds.
+	if s.cfg.FinishGate != nil {
+		s.cfg.FinishGate(t)
+	}
 	s.finish(t)
 }
 
@@ -302,7 +326,7 @@ func (s *Service) finish(t *Ticket) {
 		final = StatusCanceled
 	}
 	t.status = final
-	t.doneAt = time.Now()
+	t.doneAt = s.cfg.Clock.Now()
 	t.statsDelta = delta.Sub(t.statsAtAdmit)
 	t.simNS = t.job.Met.SimTotalNS()
 	t.mu.Unlock()
@@ -337,7 +361,7 @@ func (s *Service) Cancel(id int) error {
 		s.dequeueLocked(t)
 		t.status = StatusCanceled
 		t.cancelWanted = true
-		t.doneAt = time.Now()
+		t.doneAt = s.cfg.Clock.Now()
 		t.mu.Unlock()
 		close(t.done)
 		s.snap.Canceled++
@@ -449,7 +473,7 @@ func (s *Service) Shutdown() {
 			s.dequeueLocked(t)
 			t.status = StatusCanceled
 			t.cancelWanted = true
-			t.doneAt = time.Now()
+			t.doneAt = s.cfg.Clock.Now()
 			close(t.done)
 			s.snap.Canceled++
 			s.outstanding--

@@ -361,7 +361,7 @@ func TestCancelInFlightDetaches(t *testing.T) {
 
 	// An effectively endless job: cancellation is its only way out.
 	endless := algorithms.NewPageRank(0.85, 1_000_000)
-	endless.Tolerance = 0
+	endless.Tolerance = -1 // negative disables the early exit; 0 would mean Reset's 1e-7 default
 	victim, err := svc.Submit(service.Request{Prog: endless, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -414,7 +414,7 @@ func TestShutdownCancelsBacklog(t *testing.T) {
 	svc := service.New(sys, service.Config{MaxInFlight: 1, Seed: 11})
 
 	endless := algorithms.NewPageRank(0.85, 1_000_000)
-	endless.Tolerance = 0
+	endless.Tolerance = -1 // negative disables the early exit; 0 would mean Reset's 1e-7 default
 	head, err := svc.Submit(service.Request{Prog: endless, Seed: 12})
 	if err != nil {
 		t.Fatal(err)

@@ -39,7 +39,14 @@ var Algorithms = []string{"wcc", "pagerank", "sssp", "bfs"}
 // follows a diurnal sinusoid calibrated so the concurrency series (with
 // ~1 h jobs) has mean ≈16 and peak >30, matching Figure 2.
 func Generate(hours int, seed int64) *Trace {
-	rng := rand.New(rand.NewSource(seed))
+	return GenerateRand(rand.New(rand.NewSource(seed)), hours)
+}
+
+// GenerateRand is Generate with an explicit RNG: the caller owns the seed
+// and every draw comes from rng — the package never touches math/rand's
+// global state, so two traces built from equally seeded RNGs are identical
+// element for element (the replay harness's determinism rests on this).
+func GenerateRand(rng *rand.Rand, hours int) *Trace {
 	tr := &Trace{Hours: hours}
 	n := 0
 	for h := 0; h < hours; h++ {
@@ -106,6 +113,53 @@ func (t *Trace) ConcurrencyStats(jobHours float64) Stats {
 		s.Mean = float64(sum) / float64(len(series))
 	}
 	return s
+}
+
+// SharedFraction is the time-averaged Figure 4(a) headline number: the mean
+// fraction of the graph touched by more than one concurrent job over the
+// trace, with each hour's concurrency level k feeding the Sharing model at
+// the given per-traversal coverage. The paper reports >82% for the week-long
+// trace; the synthetic trace must reproduce that, which the statistical
+// tests pin.
+func (t *Trace) SharedFraction(jobHours, coverage float64) float64 {
+	series := t.Concurrency(jobHours)
+	if len(series) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, k := range series {
+		sum += Sharing(k, coverage).MoreThan1
+	}
+	return sum / float64(len(series))
+}
+
+// RepeatRate models Figure 4(b) for one concurrency level: the expected
+// number of accesses to a shared partition per hour. Each of the k jobs
+// touches a shared partition about coverage times per traversal and a ~1 h
+// job completes roughly half a traversal within any given hour, so the rate
+// is k*coverage/2 — ~7/h at the trace's mean concurrency of 16, matching the
+// paper's "about 7 times per hour".
+func RepeatRate(k int, coverage float64) float64 {
+	return float64(k) * coverage / 2
+}
+
+// MeanRepeatRate is the trace-wide average of RepeatRate over the hours
+// where sharing exists (k >= 2), i.e. the temporal-similarity headline of
+// Figure 4(b).
+func (t *Trace) MeanRepeatRate(jobHours, coverage float64) float64 {
+	series := t.Concurrency(jobHours)
+	sum, n := 0.0, 0
+	for _, k := range series {
+		if k < 2 {
+			continue
+		}
+		sum += RepeatRate(k, coverage)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // SharingProfile models Figure 4(a): given a concurrency level and the
