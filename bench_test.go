@@ -142,3 +142,9 @@ func BenchmarkHotpath(b *testing.B) { runExperiment(b, "hotpath", 8) }
 // runner's core count, so only the serial row is baselined — the same
 // caveat that keeps BenchmarkParallelExecutor out of the baseline).
 func BenchmarkHotpathSerial(b *testing.B) { runExperiment(b, "hotpath-serial", 8) }
+
+// BenchmarkServeHTTP fires the Figure-2 trace through the HTTP daemon over a
+// real loopback socket, open-loop at 10x and 50x the compressed trace rate,
+// reporting the accept/backpressure split and the daemon's rolling-window
+// queue-wait SLOs at drain.
+func BenchmarkServeHTTP(b *testing.B) { runExperiment(b, "serve-http", 8) }

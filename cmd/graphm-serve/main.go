@@ -1,26 +1,40 @@
 // Command graphm-serve runs the online job-admission service against one
-// dataset: jobs arrive at Poisson-staggered times, join the streaming round
-// already in flight at the next partition barrier, and depart
-// independently — the paper's dynamic-concurrency scenario as a
-// long-running server rather than a pre-declared batch.
+// dataset, in one of two modes.
+//
+// One-shot (legacy, the default): jobs arrive at Poisson-staggered times,
+// join the streaming round already in flight at the next partition barrier,
+// depart independently, and the process prints a report and exits — the
+// paper's dynamic-concurrency scenario as a finite run.
+//
+// Daemon (-listen): the process becomes a long-running HTTP/JSON server
+// (internal/server) — clients submit jobs over the socket, poll tickets,
+// scrape Prometheus /metrics with rolling SLO windows, and shut the daemon
+// down with POST /v1/drain or SIGTERM, which drains in-flight work and
+// prints the final recovery state. See docs/API.md for the API reference.
 //
 // Usage:
 //
 //	graphm-serve -dataset twitter -jobs 12 -rate 40
 //	graphm-serve -dataset uk-union -jobs 16 -tenants 4 -max-inflight 8
 //	graphm-serve -dataset livej -algos pagerank,bfs -rate 100 -seed 7
+//	graphm-serve -dataset twitter -listen :8080 -rate-limit 50 -slo-window 5m
 //
-// The report shows each ticket's lifecycle (queue wait, runtime, final
-// status) and the sharing the admission layer achieved: shared partition
-// loads, mid-round joins and arrival throughput.
+// The one-shot report shows each ticket's lifecycle (queue wait, runtime,
+// final status) and the sharing the admission layer achieved: shared
+// partition loads, mid-round joins and arrival throughput.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -28,6 +42,7 @@ import (
 	"graphm/internal/core"
 	"graphm/internal/memsim"
 	"graphm/internal/profiles"
+	"graphm/internal/server"
 	"graphm/internal/service"
 	"graphm/internal/storage"
 )
@@ -49,9 +64,14 @@ func main() {
 		quietFlag = flag.Bool("q", false, "suppress the per-ticket table")
 		cpuPro    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memPro    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		listen    = flag.String("listen", "", "daemon mode: serve the HTTP/JSON API on this address (e.g. :8080) instead of the one-shot run")
+		rateLimit = flag.Float64("rate-limit", 0, "daemon mode: per-tenant submission rate limit, jobs/s (0 = unlimited)")
+		burst     = flag.Float64("burst", 0, "daemon mode: rate-limit burst size (0 = rate-limit rounded up)")
+		sloWindow = flag.Duration("slo-window", 5*time.Minute, "daemon mode: rolling SLO window span exported by /metrics")
 	)
 	flag.Parse()
-	if *nJobs <= 0 || *rate <= 0 || *tenants <= 0 {
+	if *listen == "" && (*nJobs <= 0 || *rate <= 0 || *tenants <= 0) {
 		fatal(fmt.Errorf("jobs, rate and tenants must be positive"))
 	}
 	stop, err := profiles.Start(*cpuPro, *memPro)
@@ -79,14 +99,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc := service.New(sys, service.Config{
+	svcCfg := service.Config{
 		MaxInFlight:        *inflight,
 		MaxQueuedPerTenant: *queueCap,
 		Seed:               *seed,
-	})
+	}
 
 	fmt.Printf("dataset %s: %d vertices, %d edges, grid %dx%d\n",
 		env.Spec.Name, env.Spec.NumV, env.Spec.NumE, env.GridP, env.GridP)
+
+	if *listen != "" {
+		runDaemon(sys, svcCfg, server.Config{
+			RatePerSec: *rateLimit,
+			Burst:      *burst,
+			SLOWindow:  *sloWindow,
+		}, *listen)
+		return
+	}
+
+	svc := service.New(sys, svcCfg)
 	fmt.Printf("serving %d jobs at ~%.0f jobs/s across %d tenants (max in-flight %d)\n\n",
 		*nJobs, *rate, *tenants, *inflight)
 
@@ -152,6 +183,49 @@ func main() {
 	}
 	if stats.SharedLoads == 0 {
 		fmt.Println("warning: no partition load was shared — arrivals too sparse, or -max-inflight too tight, for this dataset")
+	}
+}
+
+// runDaemon serves the HTTP/JSON API on addr until SIGTERM or SIGINT, then
+// drains in-flight work, shuts the listener down, and prints the final
+// recovery state as JSON. The process exits 0 when every admitted job
+// terminated cleanly.
+func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr string) {
+	srv := server.New(sys, svcCfg, cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	fmt.Printf("daemon listening on %s (max in-flight %d, SLO window %v); SIGTERM drains\n",
+		addr, svcCfg.MaxInFlight, cfg.SLOWindow)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "graphm-serve: caught %v, draining\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Stop admitting and run every queued and in-flight ticket down before
+	// closing the listener, so clients can still poll tickets and scrape
+	// /metrics while the drain runs.
+	st := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "graphm-serve: shutdown: %v\n", err)
+	}
+
+	out, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(out))
+	if st.Error != "" || st.Failed != 0 {
+		if stopProfiles != nil {
+			stopProfiles()
+		}
+		os.Exit(1)
 	}
 }
 

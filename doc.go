@@ -5,9 +5,9 @@
 // GraphM is a storage runtime that plugs into existing graph engines so
 // that concurrent iterative jobs over the same graph share one copy of the
 // graph structure in memory and in the last-level cache, streaming it in a
-// common chunk-synchronized order. See README.md for a tour, DESIGN.md for
-// the system inventory and simulation substitutions, and EXPERIMENTS.md for
-// paper-vs-measured results.
+// common chunk-synchronized order. See README.md for a tour,
+// docs/ARCHITECTURE.md for the layer diagram and package map, and
+// docs/API.md for the daemon's HTTP API reference.
 //
 // The public surface lives under internal/ because this is a reproduction
 // repository; the root package carries the module documentation and the
@@ -89,6 +89,24 @@
 // admission counters and the Figure 4 shared fraction next to the real
 // controller counters. cmd/graphm-replay is the CLI; the `replay` bench
 // experiment sweeps the in-flight cap (the Figure 15 shape).
+//
+// # The HTTP daemon
+//
+// internal/server wraps the admission service in a long-running HTTP/JSON
+// daemon (cmd/graphm-serve -listen): POST /v1/jobs submits under an
+// X-Tenant key (token-bucket rate limiting per tenant, queue-full → 429
+// backpressure with Retry-After), GET/DELETE /v1/jobs/{id} poll and cancel
+// tickets, POST /v1/drain — or SIGTERM — stops admission, runs every
+// in-flight ticket down and reports the final recovery state, and GET
+// /metrics exports the runtime counters plus rolling-window queue-wait and
+// runtime SLOs in Prometheus text format with no external dependencies.
+// The quantile math lives in internal/slo, shared with the offline replay
+// reports: both paths retain exact samples and use nearest-rank
+// percentiles, so the daemon's online p50/p90/p99 are differentially
+// tested against the offline computation — including over a real loopback
+// socket by the Figure-2 load test and the `serve-http` bench experiment.
+// docs/API.md is the endpoint reference; examples/daemon is a runnable
+// client.
 //
 // # Differential scenario fuzzing
 //

@@ -1,0 +1,180 @@
+// Daemon: GraphM as a long-running HTTP service, driven as a client.
+//
+// The program generates a power-law graph, starts the internal/server
+// HTTP/JSON daemon on an ephemeral loopback port, and then talks to it the
+// way an operator's tooling would — everything through the socket, nothing
+// through the Go API:
+//
+//   - submit jobs with POST /v1/jobs (tenant billed via X-Tenant)
+//   - poll one ticket to completion with GET /v1/jobs/{id}
+//   - cancel a runaway job with DELETE /v1/jobs/{id}
+//   - scrape Prometheus /metrics for the sharing counters and rolling SLOs
+//   - drain with POST /v1/drain and read the final recovery state
+//
+// See docs/API.md for the full API reference.
+//
+//	go run ./examples/daemon
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/memsim"
+	"graphm/internal/server"
+	"graphm/internal/service"
+	"graphm/internal/storage"
+)
+
+func main() {
+	// 1. A synthetic graph partitioned GridGraph-style, as in quickstart.
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("daemon", 8_000, 90_000, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 4, disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := storage.NewMemory(disk, 64<<20)
+	cache, err := memsim.NewCache(memsim.DefaultConfig(256 << 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(grid.AsLayout(), mem, cache, core.DefaultConfig(256<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The daemon on an ephemeral port: the admission service wrapped in
+	// the HTTP layer, with per-tenant rate limiting and 1-minute SLO windows.
+	srv := server.New(sys, service.Config{
+		MaxInFlight:        4,
+		MaxQueuedPerTenant: 8,
+		Seed:               1,
+	}, server.Config{RatePerSec: 100, SLOWindow: time.Minute})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon up on %s\n\n", base)
+
+	// 3. Submit a batch of jobs over the socket, billed to two tenants.
+	var ids []int
+	for i, algo := range []string{"wcc", "pagerank", "bfs", "sssp", "pagerank"} {
+		tenant := "analytics"
+		if i%2 == 1 {
+			tenant = "batch"
+		}
+		id, status := submit(base, tenant, algo)
+		fmt.Printf("POST /v1/jobs {%q} as %-9s -> job %d (%s)\n", algo, tenant, id, status)
+		ids = append(ids, id)
+	}
+
+	// 4. Cancel the last submission: DELETE is asynchronous (202) — the
+	// detach lands at the job's next partition barrier.
+	runaway := ids[len(ids)-1]
+	req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/jobs/%d", base, runaway), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("DELETE /v1/jobs/%d -> %s\n", runaway, resp.Status)
+
+	// 5. Poll the first ticket to a terminal state, as a dashboard would.
+	for {
+		tk := getJSON(base + fmt.Sprintf("/v1/jobs/%d", ids[0]))
+		status := tk["status"].(string)
+		if status == "done" || status == "failed" || status == "canceled" {
+			iters, _ := tk["iterations"].(float64)
+			fmt.Printf("GET /v1/jobs/%d -> %s after %.0f iterations\n", ids[0], status, iters)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// 6. Scrape /metrics: the Prometheus view of the sharing counters.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	fmt.Println("\nGET /metrics (excerpt):")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "graphm_jobs_") ||
+			strings.HasPrefix(line, "graphm_shared_loads_total ") ||
+			strings.HasPrefix(line, "graphm_queue_wait_seconds{") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// 7. Drain over the socket: the daemon stops admitting, runs everything
+	// down, and reports its final recovery state.
+	dresp, err := http.Post(base+"/v1/drain", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st server.RecoveryState
+	if err := json.NewDecoder(dresp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	dresp.Body.Close()
+	fmt.Printf("\nPOST /v1/drain -> drained: %d admitted, %d completed, %d canceled\n",
+		st.Admitted, st.Completed, st.Canceled)
+	fmt.Printf("sharing: %d shared partition loads, %d mid-round joins over %d rounds\n",
+		st.SharedLoads, st.MidRoundJoins, st.Rounds)
+	fmt.Printf("queue-wait SLO: p50 %.1fms p99 %.1fms over the last %v window\n",
+		st.QueueWait.P50*1e3, st.QueueWait.P99*1e3, time.Minute)
+}
+
+// submit POSTs one job and returns its ticket id and status.
+func submit(base, tenant, algo string) (int, string) {
+	body, _ := json.Marshal(map[string]any{"algo": algo})
+	req, _ := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("submit %s: %s: %s", algo, resp.Status, raw)
+	}
+	var tk map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		log.Fatal(err)
+	}
+	return int(tk["id"].(float64)), tk["status"].(string)
+}
+
+// getJSON fetches one URL and decodes the JSON object it returns.
+func getJSON(url string) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -37,7 +37,8 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	names := Experiments()
 	want := []string{"fig2", "fig3", "fig4", "table3", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-		"table4", "ablation", "openloop", "parallel", "adaptive", "replay", "hotpath", "hotpath-serial"}
+		"table4", "ablation", "openloop", "parallel", "adaptive", "replay", "hotpath", "hotpath-serial",
+		"serve-http"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(names), len(want))
 	}

@@ -80,6 +80,7 @@ var experiments = []experiment{
 	{"replay", "week-in-the-life trace replay through the admission service on a virtual clock", (*Harness).replayExperiment},
 	{"hotpath", "chunk-apply hot-path throughput (Medges/s), serial + worker sweep", (*Harness).hotpath},
 	{"hotpath-serial", "hot-path throughput, serial driver only (the perf-gate variant)", (*Harness).hotpathSerial},
+	{"serve-http", "Figure-2 trace through the HTTP daemon over a loopback socket", (*Harness).serveHTTP},
 }
 
 // Experiments lists runnable experiment names in paper order.

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/memsim"
+	"graphm/internal/server"
+	"graphm/internal/service"
+	"graphm/internal/storage"
+	"graphm/internal/trace"
+)
+
+// serveHTTP benches the daemon end to end: the Figure-2 trace fired through
+// a real loopback socket against internal/server, open-loop, with the trace
+// timeline compressed (one trace hour = one wall second) and then sped up a
+// further speedup x. Unlike the openloop experiment, every submission pays
+// the full network path — JSON encode, TCP, tenant resolution, admission —
+// so the table measures what a client of the daemon actually sees: accept /
+// backpressure split, sustained submission rate, and the rolling-window
+// queue-wait SLOs the daemon reports at drain.
+func (h *Harness) serveHTTP() ([]*Table, error) {
+	e, err := h.gridEnv("twitter")
+	if err != nil {
+		return nil, err
+	}
+	const hours = 12
+	t := &Table{
+		Title:   fmt.Sprintf("serve-http: %dh Figure-2 trace through the HTTP daemon, twitter", hours),
+		Headers: []string{"speedup", "arrivals", "accepted", "429", "jobs/s", "wait p50", "wait p99", "shared loads", "mid-round joins"},
+		Notes: []string{
+			"open-loop over a real loopback socket: arrivals never wait on completions",
+			"wait quantiles are the daemon's rolling-window SLO view at drain (internal/slo)",
+		},
+	}
+	for _, speedup := range []float64{10, 50} {
+		row, err := h.serveHTTPSpeedup(e, hours, speedup)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+// serveHTTPSpeedup stands up one daemon on an ephemeral loopback port,
+// replays the trace against it at the given speedup, drains over the socket
+// and returns the table row.
+func (h *Harness) serveHTTPSpeedup(e *GridEnv, hours int, speedup float64) ([]string, error) {
+	e.Disk.ResetCounters()
+	e.Disk.DropCaches()
+	e.Disk.SetPageCache(e.Spec.MemBudget)
+	mem := storage.NewMemory(e.Disk, e.Spec.MemBudget)
+	cache, err := memsim.NewCache(memsim.DefaultConfig(e.Spec.LLCBytes))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(e.Spec.LLCBytes)
+	cfg.Cores = h.Cores
+	sys, err := core.NewSystem(e.Grid.AsLayout(), mem, cache, cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(sys, service.Config{
+		MaxInFlight:        8,
+		MaxQueuedPerTenant: 64,
+		Seed:               h.Seed,
+	}, server.Config{SLOWindow: time.Hour})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	tr := trace.Generate(hours, h.Seed)
+	client := &http.Client{}
+	var (
+		mu       sync.Mutex
+		accepted int
+		rejected int
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for _, ev := range tr.Events {
+		at := time.Duration(ev.AtHour / speedup * float64(time.Second))
+		if d := time.Until(start.Add(at)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(ev trace.Event) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"algo": ev.Algo, "seed": ev.Seed})
+			req, err := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("X-Tenant", fmt.Sprintf("t%d", ev.Seed%4))
+			resp, err := client.Do(req)
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			mu.Lock()
+			if resp.StatusCode == http.StatusAccepted {
+				accepted++
+			} else {
+				rejected++
+			}
+			mu.Unlock()
+		}(ev)
+	}
+	wg.Wait()
+	st := srv.Drain()
+	wall := time.Since(start)
+
+	return []string{
+		fmt.Sprintf("%.0fx", speedup),
+		fmt.Sprintf("%d", len(tr.Events)),
+		fmt.Sprintf("%d", accepted),
+		fmt.Sprintf("%d", rejected),
+		fmt.Sprintf("%.1f", float64(len(tr.Events))/wall.Seconds()),
+		fmt.Sprintf("%v", time.Duration(st.QueueWait.P50*float64(time.Second)).Round(time.Microsecond)),
+		fmt.Sprintf("%v", time.Duration(st.QueueWait.P99*float64(time.Second)).Round(time.Microsecond)),
+		fmt.Sprintf("%d", st.SharedLoads),
+		fmt.Sprintf("%d", st.MidRoundJoins),
+	}, nil
+}

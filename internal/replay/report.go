@@ -9,6 +9,7 @@ import (
 
 	"graphm/internal/core"
 	"graphm/internal/service"
+	"graphm/internal/slo"
 	"graphm/internal/trace"
 )
 
@@ -122,17 +123,15 @@ func (r *run) finishReport(tr *trace.Trace) {
 		waits = append(waits, w)
 		waitSum[t.sub.tenant] += w
 	}
-	sort.Float64s(waits)
-	if n := len(waits); n > 0 {
-		sum := 0.0
-		for _, w := range waits {
-			sum += w
-		}
-		p.WaitMean = sum / float64(n)
-		p.WaitP50 = percentile(waits, 0.50)
-		p.WaitP90 = percentile(waits, 0.90)
-		p.WaitP99 = percentile(waits, 0.99)
-		p.WaitMax = waits[n-1]
+	// The offline SLO computation is the shared internal/slo aggregation —
+	// the same math the daemon's /metrics endpoint reports from a rolling
+	// window, which is what makes the two differentially testable.
+	if s := slo.Summarize(waits); s.Count > 0 {
+		p.WaitMean = s.Mean
+		p.WaitP50 = s.P50
+		p.WaitP90 = s.P90
+		p.WaitP99 = s.P99
+		p.WaitMax = s.Max
 	}
 	for name, ts := range p.tenants {
 		if ts.Completed > 0 {
@@ -195,21 +194,6 @@ func (r *run) finishReport(tr *trace.Trace) {
 		p.SharedFraction = sharedArea / end
 	}
 	p.Log = r.log
-}
-
-// percentile returns the q-quantile of sorted xs (nearest-rank).
-func percentile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(xs))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(xs) {
-		i = len(xs) - 1
-	}
-	return xs[i]
 }
 
 // Summary writes the human-readable roll-up: the deterministic SLO metrics

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/scenario"
+	"graphm/internal/service"
+	"graphm/internal/slo"
+	"graphm/internal/trace"
+)
+
+// TestFigure2TraceThroughSocket is the "millions of users" shape as a load
+// test: the paper's Figure-2 trace fired through a real loopback socket,
+// open-loop (arrivals never wait for completions), with the trace timeline
+// compressed so one trace hour maps to one wall second and the arrival
+// process then sped up a further SPEEDUP×. At 20× that is ≥10x the
+// compressed trace rate — a few hundred jobs against a bounded-queue
+// daemon in about a second of wall time.
+//
+// Assertions: every submission resolves to 202 or 429 (backpressure is the
+// only refusal), the drain accounts for every admitted ticket, the online
+// rolling-window p50/p90/p99 queue waits match the offline slo.Summarize
+// (the replay harness's computation) over the same population read back
+// through the HTTP API, and no goroutines leak once the daemon is down.
+func TestFigure2TraceThroughSocket(t *testing.T) {
+	hours, speedup := 24, 20.0
+	if testing.Short() {
+		hours, speedup = 8, 10.0
+	}
+	baseline := runtime.NumGoroutine()
+
+	// A graph big enough that jobs take real milliseconds: arrivals then
+	// genuinely overlap in flight and the sharing controller has rounds to
+	// amortize — the property the daemon exists to serve.
+	env, _, err := scenario.GenEnv("server-load", 2000, 24000, 3, 7, 32<<10, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.DefaultConfig(32 << 10)
+	ccfg.Cores = 2
+	sys, err := core.NewSystem(env.Layout, env.Mem, env.Cache, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, service.Config{
+		MaxInFlight:        8,
+		MaxQueuedPerTenant: 32,
+		Seed:               42,
+	}, Config{SLOWindow: time.Hour})
+	ts := httptest.NewServer(s)
+
+	tr := trace.Generate(hours, 42)
+	client := ts.Client()
+
+	// Open-loop submission: a ticker goroutine fires each arrival at its
+	// compressed time; responses are collected concurrently so a slow
+	// response never delays the next arrival (the open-loop property).
+	var (
+		mu       sync.Mutex
+		ids      []int
+		accepted int
+		rejected int
+		other    []int
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for _, e := range tr.Events {
+		at := time.Duration(e.AtHour / speedup * float64(time.Second))
+		if d := time.Until(start.Add(at)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(e trace.Event) {
+			defer wg.Done()
+			body, _ := json.Marshal(submitRequest{Algo: e.Algo, Seed: e.Seed})
+			req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("X-Tenant", fmt.Sprintf("t%02d", e.Seed%4))
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var tv ticketResponse
+				if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+					t.Error(err)
+					return
+				}
+				accepted++
+				ids = append(ids, tv.ID)
+			case http.StatusTooManyRequests:
+				rejected++
+			default:
+				other = append(other, resp.StatusCode)
+			}
+		}(e)
+	}
+	wg.Wait()
+	submitWall := time.Since(start)
+
+	if len(other) > 0 {
+		t.Fatalf("unexpected submit statuses: %v", other)
+	}
+	if accepted == 0 {
+		t.Fatal("no job was accepted")
+	}
+	rate := float64(len(tr.Events)) / submitWall.Seconds()
+	t.Logf("fired %d arrivals (%d accepted, %d backpressured) in %v (%.0f jobs/s)",
+		len(tr.Events), accepted, rejected, submitWall.Round(time.Millisecond), rate)
+
+	// Drain over the socket and account for everything.
+	resp, err := client.Post(ts.URL+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RecoveryState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Drained {
+		t.Fatalf("drain state: %+v", st)
+	}
+	if st.Submitted != uint64(accepted) || st.Rejected != uint64(rejected) {
+		t.Fatalf("accounting: state %+v vs accepted %d rejected %d", st, accepted, rejected)
+	}
+	if st.Completed+st.Canceled+st.Failed != st.Admitted {
+		t.Fatalf("terminal accounting: %+v", st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d jobs failed: %+v", st.Failed, st)
+	}
+	if !testing.Short() {
+		// The full-length run must exhibit the paper's property: arrivals
+		// dense enough that partition loads are shared between jobs.
+		if st.SharedLoads == 0 || st.PeakInFlight < 2 {
+			t.Fatalf("no sharing under load: %+v", st)
+		}
+	}
+
+	// Differential SLO check: the rolling window vs the offline
+	// computation over the same tickets, read back through the API.
+	var waits []float64
+	for _, id := range ids {
+		tv, code := getTicket(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %d: %d", id, code)
+		}
+		if tv.Status != "done" {
+			t.Fatalf("job %d not done after drain: %+v", id, tv)
+		}
+		waits = append(waits, tv.QueueWaitSeconds)
+	}
+	online, offline := s.WaitSLO(), slo.Summarize(waits)
+	if online.Count != offline.Count {
+		t.Fatalf("window holds %d waits, offline %d", online.Count, offline.Count)
+	}
+	for _, q := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", online.P50, offline.P50},
+		{"p90", online.P90, offline.P90},
+		{"p99", online.P99, offline.P99},
+		{"max", online.Max, offline.Max},
+	} {
+		if !closeEnough(q.got, q.want) {
+			t.Errorf("queue-wait %s: window %v != offline %v", q.name, q.got, q.want)
+		}
+	}
+
+	// Goroutine hygiene: with the HTTP server closed and the service
+	// drained, we must return to (about) the baseline. Idle HTTP conns
+	// take a beat to unwind, so poll.
+	ts.Close()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// closeEnough compares two float64s to within JSON round-trip noise.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"graphm/internal/core"
+)
+
+// tenantLimiter is a classic token-bucket rate limiter keyed by tenant:
+// each tenant's bucket refills at rate tokens/second up to burst, and one
+// submission costs one token. Buckets are created on first use and pruned
+// once they have been full (i.e. carrying no information) for a while, so a
+// long-running daemon's limiter state tracks active tenants, not tenants
+// ever seen — the same policy the service applies to its fairness rotation.
+type tenantLimiter struct {
+	rate  float64
+	burst float64
+	clock core.Clock
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	sweeps  int // submissions since the last full-bucket prune
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// sweepEvery bounds how often the limiter prunes full buckets: once per
+// this many allow calls, amortized O(1) per submission.
+const sweepEvery = 4096
+
+func newTenantLimiter(rate, burst float64, clock core.Clock) *tenantLimiter {
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   burst,
+		clock:   clock,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow spends one token from tenant's bucket if available. When it is not,
+// allow reports false plus how long until the bucket next holds a full
+// token.
+func (l *tenantLimiter) allow(tenant string) (bool, time.Duration) {
+	now := l.clock.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweeps++
+	if l.sweeps >= sweepEvery {
+		l.sweeps = 0
+		l.pruneLocked(now)
+	}
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
+}
+
+// pruneLocked drops buckets that would be full if refilled now: an idle
+// tenant's bucket converges to burst and then encodes nothing.
+func (l *tenantLimiter) pruneLocked(now time.Time) {
+	for tenant, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, tenant)
+		}
+	}
+}
+
+// size returns the live bucket count (exported to /metrics).
+func (l *tenantLimiter) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

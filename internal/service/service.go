@@ -65,6 +65,19 @@ type Config struct {
 	// duration. The callee must eventually return: Drain and Shutdown wait
 	// for every gated driver.
 	FinishGate func(*Ticket)
+	// OnAdmit, when set, is called as each ticket is admitted to the
+	// sharing controller — the daemon layer's hook for live SLO tracking
+	// (queue-wait observations land in a rolling window the moment they
+	// are known, not at job completion). Called with the service mutex
+	// held: the callee must be fast and must not call back into the
+	// Service.
+	OnAdmit func(*Ticket)
+	// OnTerminal, when set, is called once per ticket as it reaches a
+	// terminal status (done, canceled, failed — including queued tickets
+	// canceled before admission and tickets whose admission itself
+	// failed). Same contract as OnAdmit: fast, no re-entry into the
+	// Service.
+	OnTerminal func(*Ticket)
 }
 
 func (c Config) withDefaults() Config {
@@ -213,6 +226,9 @@ func (s *Service) admitLocked() {
 			t.doneAt = s.cfg.Clock.Now()
 			t.mu.Unlock()
 			close(t.done)
+			if s.cfg.OnTerminal != nil {
+				s.cfg.OnTerminal(t)
+			}
 			continue
 		}
 		now := s.cfg.Clock.Now()
@@ -227,6 +243,9 @@ func (s *Service) admitLocked() {
 		s.snap.Admitted++
 		if s.inFlight > s.snap.PeakInFlight {
 			s.snap.PeakInFlight = s.inFlight
+		}
+		if s.cfg.OnAdmit != nil {
+			s.cfg.OnAdmit(t)
 		}
 		s.wg.Add(1)
 		go s.drive(t)
@@ -339,6 +358,9 @@ func (s *Service) finish(t *Ticket) {
 	case StatusFailed:
 		s.snap.Failed++
 	}
+	if s.cfg.OnTerminal != nil {
+		s.cfg.OnTerminal(t)
+	}
 	s.admitLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -366,6 +388,9 @@ func (s *Service) Cancel(id int) error {
 		close(t.done)
 		s.snap.Canceled++
 		s.outstanding--
+		if s.cfg.OnTerminal != nil {
+			s.cfg.OnTerminal(t)
+		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return nil
@@ -466,6 +491,7 @@ func (s *Service) Shutdown() {
 	s.mu.Lock()
 	s.closed = true
 	var detach []*core.Session
+	var terminal []*Ticket
 	for _, t := range s.tickets {
 		t.mu.Lock()
 		switch {
@@ -477,11 +503,17 @@ func (s *Service) Shutdown() {
 			close(t.done)
 			s.snap.Canceled++
 			s.outstanding--
+			terminal = append(terminal, t)
 		case !t.status.Terminal():
 			t.cancelWanted = true
 			detach = append(detach, t.sess)
 		}
 		t.mu.Unlock()
+	}
+	if s.cfg.OnTerminal != nil {
+		for _, t := range terminal {
+			s.cfg.OnTerminal(t)
+		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()

@@ -1,0 +1,45 @@
+package slo_test
+
+import (
+	"fmt"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/slo"
+)
+
+// ExampleSummarize aggregates a finished sample population offline — the
+// path the replay harness uses for its end-of-run queue-wait report.
+func ExampleSummarize() {
+	waits := []float64{0.2, 0.1, 0.4, 0.3, 1.0}
+	s := slo.Summarize(waits)
+	fmt.Printf("count=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f\n",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+	// Output:
+	// count=5 mean=0.40 p50=0.30 p99=1.00 max=1.00
+}
+
+// ExampleWindow tracks the same quantiles online over a rolling span — the
+// path the daemon's /metrics endpoint exports. A virtual clock stands in
+// for wall time so the rotation is visible.
+func ExampleWindow() {
+	start := time.Unix(0, 0).UTC()
+	clock := core.NewVirtualClock(start)
+	w := slo.NewWindow(10*time.Second, 10, clock)
+
+	for i, v := range []float64{0.2, 0.1, 0.4, 0.3, 1.0} {
+		clock.Set(start.Add(time.Duration(i) * time.Second))
+		w.Observe(v)
+	}
+	s := w.Snapshot()
+	fmt.Printf("live: count=%d p50=%.2f p99=%.2f\n", s.Count, s.P50, s.P99)
+
+	// Eight seconds later the first three samples have aged out of the
+	// 10-second window.
+	clock.Set(start.Add(12 * time.Second))
+	s = w.Snapshot()
+	fmt.Printf("aged: count=%d p50=%.2f max=%.2f\n", s.Count, s.P50, s.Max)
+	// Output:
+	// live: count=5 p50=0.30 p99=1.00
+	// aged: count=2 p50=0.30 max=1.00
+}

@@ -1,0 +1,170 @@
+// Package slo is the shared service-level-objective math: exact quantile
+// aggregation over a finished sample set (the offline path, used by the
+// replay harness's week-in-the-life reports) and a rotating-bucket sliding
+// window that reports the same quantiles online over the most recent span
+// (the daemon path, exported by internal/server's /metrics endpoint).
+//
+// Both paths retain exact samples and compute nearest-rank quantiles, so a
+// window whose span covers an entire sample stream reports bit-identical
+// p50/p90/p99 to the offline Summarize over that stream — the differential
+// contract the server load test asserts against the replay computation.
+package slo
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"graphm/internal/core"
+)
+
+// Summary is the aggregate view of one sample population: the queue-wait
+// and runtime roll-up the replay report prints and /metrics exports. The
+// JSON form is part of the daemon's API surface (RecoveryState).
+type Summary struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Percentile returns the q-quantile of sorted xs by the nearest-rank rule
+// (the convention the replay reports have used since PR 5). Empty input
+// returns 0. xs must be sorted ascending.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// Summarize computes the exact offline Summary of samples. The input is not
+// modified; an empty input yields the zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	xs := make([]float64, len(samples))
+	copy(xs, samples)
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Summary{
+		Count: len(xs),
+		Sum:   sum,
+		Mean:  sum / float64(len(xs)),
+		Max:   xs[len(xs)-1],
+		P50:   Percentile(xs, 0.50),
+		P90:   Percentile(xs, 0.90),
+		P99:   Percentile(xs, 0.99),
+	}
+}
+
+// Window is a sliding-window sample recorder: observations land in
+// fixed-width time buckets keyed off an injectable core.Clock, and Snapshot
+// aggregates the buckets still inside the span. Buckets are rotated lazily
+// (on Observe and Snapshot), so an idle window costs nothing. All methods
+// are safe for concurrent use.
+//
+// The window keeps exact samples rather than pre-bucketed counts: quantiles
+// over the live span are exact, which is what lets the daemon's online
+// numbers be differentially tested against the offline Summarize. Memory is
+// bounded by the observation rate times the span, which for queue-wait
+// observations (one per admitted job) is small at any plausible rate.
+type Window struct {
+	mu      sync.Mutex
+	clock   core.Clock
+	width   time.Duration // one bucket's time width
+	buckets []bucket      // ring, indexed by (time/width) mod len
+}
+
+type bucket struct {
+	epoch   int64 // floor(time/width) this bucket currently holds; -1 empty
+	samples []float64
+}
+
+// NewWindow returns a window covering roughly span, split into n rotating
+// buckets (granularity span/n: a snapshot covers between span-span/n and
+// span of history, the standard rotating-histogram trade-off). span must be
+// positive; n < 1 is treated as 1. A nil clock means core.WallClock.
+func NewWindow(span time.Duration, n int, clock core.Clock) *Window {
+	if span <= 0 {
+		panic("slo: NewWindow span must be positive")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if clock == nil {
+		clock = core.WallClock{}
+	}
+	w := &Window{
+		clock:   clock,
+		width:   span / time.Duration(n),
+		buckets: make([]bucket, n),
+	}
+	if w.width <= 0 {
+		w.width = time.Nanosecond
+	}
+	for i := range w.buckets {
+		w.buckets[i].epoch = -1
+	}
+	return w
+}
+
+// epochAt maps an instant to its bucket epoch (floor of time/width).
+func (w *Window) epochAt(t time.Time) int64 {
+	return t.UnixNano() / int64(w.width)
+}
+
+// Observe records one sample at the clock's current time.
+func (w *Window) Observe(v float64) {
+	now := w.clock.Now()
+	e := w.epochAt(now)
+	i := int(e % int64(len(w.buckets)))
+	if i < 0 {
+		i += len(w.buckets)
+	}
+	w.mu.Lock()
+	b := &w.buckets[i]
+	if b.epoch != e {
+		b.epoch = e
+		b.samples = b.samples[:0]
+	}
+	b.samples = append(b.samples, v)
+	w.mu.Unlock()
+}
+
+// Snapshot aggregates the samples observed within the window's span ending
+// at the clock's current time. An empty window yields the zero Summary.
+func (w *Window) Snapshot() Summary {
+	now := w.clock.Now()
+	e := w.epochAt(now)
+	oldest := e - int64(len(w.buckets)) + 1
+	var xs []float64
+	w.mu.Lock()
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.epoch >= oldest && b.epoch <= e {
+			xs = append(xs, b.samples...)
+		}
+	}
+	w.mu.Unlock()
+	return Summarize(xs)
+}
+
+// Span returns the window's full coverage (bucket width times bucket count).
+func (w *Window) Span() time.Duration {
+	return w.width * time.Duration(len(w.buckets))
+}

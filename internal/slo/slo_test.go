@@ -1,0 +1,217 @@
+package slo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/trace"
+)
+
+// TestPercentileTable pins the nearest-rank rule on hand-checked inputs —
+// the same convention internal/replay has reported since PR 5.
+func TestPercentileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", []float64{7}, 0.5, 7},
+		{"single p99", []float64{7}, 0.99, 7},
+		{"two p50", []float64{1, 2}, 0.5, 1},
+		{"two p90", []float64{1, 2}, 0.9, 2},
+		{"ten p50", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.5, 5},
+		{"ten p90", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9, 9},
+		{"ten p99", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+		{"hundred p99", seq(100), 0.99, 99},
+		{"hundred p01", seq(100), 0.01, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.xs, tc.q); got != tc.want {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func seq(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+// TestSummarizeMatchesManual checks the aggregate fields on a small fixed
+// population, and that the input is neither reordered nor modified.
+func TestSummarizeMatchesManual(t *testing.T) {
+	in := []float64{5, 1, 4, 2, 3}
+	s := Summarize(in)
+	if s.Count != 5 || s.Sum != 15 || s.Mean != 3 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if in[0] != 5 || in[4] != 3 {
+		t.Fatalf("Summarize mutated its input: %v", in)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+// TestWindowMatchesOfflineOnTraceStream is the differential contract: a
+// window whose span covers an entire sample stream reports bit-identical
+// quantiles to the exact offline Summarize over the same stream. The stream
+// is derived from the Figure-2 trace (per-event seeded draws, the same
+// derivation style the replay harness uses), observed on a virtual clock at
+// the events' trace times.
+func TestWindowMatchesOfflineOnTraceStream(t *testing.T) {
+	for _, seed := range []int64{1, 42, 7777} {
+		tr := trace.Generate(48, seed)
+		clock := core.NewVirtualClock(time.Unix(0, 0).UTC())
+		w := NewWindow(14*24*time.Hour, 16, clock) // span far beyond the 48 h stream
+		var offline []float64
+		for _, e := range tr.Events {
+			rng := rand.New(rand.NewSource(e.Seed))
+			v := rng.ExpFloat64() // a queue-wait-shaped draw
+			clock.Set(time.Unix(0, 0).UTC().Add(time.Duration(e.AtHour * float64(time.Hour))))
+			w.Observe(v)
+			offline = append(offline, v)
+		}
+		got, want := w.Snapshot(), Summarize(offline)
+		if got != want {
+			t.Fatalf("seed %d: window %+v != offline %+v", seed, got, want)
+		}
+	}
+}
+
+// TestWindowRotation advances a virtual clock past the span and checks that
+// stale buckets expire — and that a bucket slot is reset when its ring index
+// is reused after a long idle gap.
+func TestWindowRotation(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	clock := core.NewVirtualClock(start)
+	w := NewWindow(10*time.Second, 10, clock) // 1 s buckets
+
+	// One sample per second for 10 s: all live.
+	for i := 0; i < 10; i++ {
+		clock.Set(start.Add(time.Duration(i) * time.Second))
+		w.Observe(float64(i))
+	}
+	if s := w.Snapshot(); s.Count != 10 || s.Max != 9 {
+		t.Fatalf("full window: %+v", s)
+	}
+
+	// 5 s later, the first five samples have aged out.
+	clock.Set(start.Add(14 * time.Second))
+	if s := w.Snapshot(); s.Count != 5 {
+		t.Fatalf("after 14s want 5 live samples, got %+v", s)
+	} else if s.P50 != 7 {
+		// Live samples are 5..9.
+		t.Fatalf("after 14s want p50=7 over 5..9, got %+v", s)
+	}
+
+	// Far past the span: everything expires.
+	clock.Set(start.Add(time.Hour))
+	if s := w.Snapshot(); s != (Summary{}) {
+		t.Fatalf("fully aged window should be empty, got %+v", s)
+	}
+
+	// A bucket slot reused exactly one ring revolution later (same index,
+	// different epoch) must not resurrect the old samples.
+	clock.Set(start.Add(time.Hour + 42*time.Second))
+	w.Observe(100)
+	if s := w.Snapshot(); s.Count != 1 || s.Max != 100 {
+		t.Fatalf("reused bucket should hold only the new sample, got %+v", s)
+	}
+}
+
+// TestWindowEmptyAndEdgeCases covers the empty window, single observation,
+// and snapshots taken exactly on a bucket boundary.
+func TestWindowEmptyAndEdgeCases(t *testing.T) {
+	start := time.Unix(100, 0).UTC()
+	clock := core.NewVirtualClock(start)
+	w := NewWindow(time.Minute, 6, clock)
+
+	if s := w.Snapshot(); s != (Summary{}) {
+		t.Fatalf("fresh window should be empty, got %+v", s)
+	}
+	w.Observe(3.5)
+	s := w.Snapshot()
+	if s.Count != 1 || s.P50 != 3.5 || s.P99 != 3.5 || s.Max != 3.5 || s.Mean != 3.5 {
+		t.Fatalf("single-sample window: %+v", s)
+	}
+	// Exactly at the expiry edge: the sample's bucket (epoch e) stays live
+	// until the snapshot epoch passes e + n - 1.
+	clock.Set(start.Add(50 * time.Second))
+	if s := w.Snapshot(); s.Count != 1 {
+		t.Fatalf("sample should still be live at 50s of a 60s span, got %+v", s)
+	}
+	clock.Set(start.Add(70 * time.Second))
+	if s := w.Snapshot(); s.Count != 0 {
+		t.Fatalf("sample should be gone at 70s, got %+v", s)
+	}
+}
+
+// TestWindowDefaults exercises the constructor's defaulting paths.
+func TestWindowDefaults(t *testing.T) {
+	w := NewWindow(time.Hour, 0, nil) // n<1 -> 1 bucket, nil clock -> wall
+	w.Observe(1)
+	if s := w.Snapshot(); s.Count != 1 {
+		t.Fatalf("want the sample visible immediately, got %+v", s)
+	}
+	if w.Span() != time.Hour {
+		t.Fatalf("span = %v, want 1h", w.Span())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow with non-positive span should panic")
+		}
+	}()
+	NewWindow(0, 4, nil)
+}
+
+// TestWindowConcurrent hammers Observe/Snapshot from several goroutines
+// under -race; counts are checked to be complete once all writers join.
+func TestWindowConcurrent(t *testing.T) {
+	clock := core.NewVirtualClock(time.Unix(0, 0).UTC())
+	w := NewWindow(time.Hour, 8, clock)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 250; i++ {
+				w.Observe(float64(g*1000 + i))
+				if i%50 == 0 {
+					w.Snapshot()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if s := w.Snapshot(); s.Count != 1000 {
+		t.Fatalf("want 1000 samples after all writers joined, got %d", s.Count)
+	}
+}
+
+// TestSummarizeAgreesWithSortedPercentile cross-checks Summarize's quantile
+// fields against direct Percentile calls on the sorted population.
+func TestSummarizeAgreesWithSortedPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 321)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := Summarize(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if s.P50 != Percentile(sorted, 0.50) || s.P90 != Percentile(sorted, 0.90) || s.P99 != Percentile(sorted, 0.99) {
+		t.Fatalf("Summarize quantiles disagree with Percentile: %+v", s)
+	}
+}
