@@ -143,6 +143,29 @@ func BenchmarkHotpath(b *testing.B) { runExperiment(b, "hotpath", 8) }
 // caveat that keeps BenchmarkParallelExecutor out of the baseline).
 func BenchmarkHotpathSerial(b *testing.B) { runExperiment(b, "hotpath-serial", 8) }
 
+// The per-algorithm serial hot-path gates: one homogeneous 8-job rotation
+// per batched fallback algorithm, so a regression in a single algorithm's
+// ProcessEdges or state-batching path is pinned individually by benchgate
+// instead of being averaged away inside the mixed rotation.
+
+// BenchmarkHotpathSerialWCC pins the WCC (full-active, memoised) hot path.
+func BenchmarkHotpathSerialWCC(b *testing.B) { runExperiment(b, "hotpath-serial-wcc", 8) }
+
+// BenchmarkHotpathSerialBFS pins the BFS (sparse-frontier, gated) hot path.
+func BenchmarkHotpathSerialBFS(b *testing.B) { runExperiment(b, "hotpath-serial-bfs", 8) }
+
+// BenchmarkHotpathSerialSSSP pins the SSSP (sparse-frontier, gated) hot path.
+func BenchmarkHotpathSerialSSSP(b *testing.B) { runExperiment(b, "hotpath-serial-sssp", 8) }
+
+// BenchmarkHotpathSerialKCore pins the k-core (peeling) hot path.
+func BenchmarkHotpathSerialKCore(b *testing.B) { runExperiment(b, "hotpath-serial-kcore", 8) }
+
+// BenchmarkHotpathSerialLabelProp pins the label-propagation hot path.
+func BenchmarkHotpathSerialLabelProp(b *testing.B) { runExperiment(b, "hotpath-serial-labelprop", 8) }
+
+// BenchmarkHotpathSerialPPR pins the personalised-PageRank hot path.
+func BenchmarkHotpathSerialPPR(b *testing.B) { runExperiment(b, "hotpath-serial-ppr", 8) }
+
 // BenchmarkServeHTTP fires the Figure-2 trace through the HTTP daemon over a
 // real loopback socket, open-loop at 10x and 50x the compressed trace rate,
 // reporting the accept/backpressure split and the daemon's rolling-window

@@ -69,6 +69,28 @@ func (b *BFS) ProcessEdge(e graph.Edge) bool {
 	return false
 }
 
+// ProcessEdges implements engine.BatchProgram: the exact per-edge relaxation
+// applied in slice order, with the dist slice and frontier bitmap hoisted
+// out of the interface-dispatch path. Must stay observably identical to
+// ProcessEdge, including the activation count, and allocates nothing.
+func (b *BFS) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	allActive := active.Full()
+	dist := b.dist
+	next := b.next
+	for _, e := range edges {
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		if dist[e.Dst] == Unreached {
+			dist[e.Dst] = dist[e.Src] + 1
+			next.Set(int(e.Dst))
+			activated++
+		}
+	}
+	return processed, activated
+}
+
 // AfterIteration implements engine.Program.
 func (b *BFS) AfterIteration(iter int) {
 	b.active.CopyFrom(b.next)

@@ -68,6 +68,28 @@ func (kc *KCore) ProcessEdge(e graph.Edge) bool {
 	return false
 }
 
+// ProcessEdges implements engine.BatchProgram: the exact per-edge degree
+// count applied in slice order, with the removed/deg slices hoisted out of
+// the interface-dispatch path. Must stay observably identical to
+// ProcessEdge and allocates nothing.
+func (kc *KCore) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	allActive := active.Full()
+	removed := kc.removed
+	deg := kc.deg
+	for _, e := range edges {
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		if removed[e.Src] || removed[e.Dst] {
+			continue
+		}
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	return processed, 0
+}
+
 // AfterIteration implements engine.Program: peel vertices below K.
 func (kc *KCore) AfterIteration(iter int) {
 	for v := range kc.deg {
@@ -100,6 +122,10 @@ func (kc *KCore) EdgeCost() float64 { return 0.7 }
 
 // InCore reports whether v survives in the k-core.
 func (kc *KCore) InCore(v graph.VertexID) bool { return !kc.removed[v] }
+
+// Removed exposes the per-vertex removal marks (true = peeled out of the
+// k-core), for whole-output equality checks.
+func (kc *KCore) Removed() []bool { return kc.removed }
 
 // CoreSize returns the number of vertices in the k-core.
 func (kc *KCore) CoreSize() int {

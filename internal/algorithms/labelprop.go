@@ -15,14 +15,28 @@ import (
 //
 // Like WCC it is network-intensive: every vertex stays active until labels
 // stop changing or the iteration budget runs out.
+//
+// The per-iteration vote accumulator is an arena of (label, count) nodes
+// chained per destination vertex — not a map per vertex — so the edge
+// function allocates nothing in steady state: the node arrays grow to the
+// iteration's distinct (destination, label) high-water mark once and are
+// reused, and AfterIteration resets the chains while it consumes them. The
+// majority rule (highest count, ties to the smaller label) is order-
+// independent, so the chain walk and the old map iteration agree exactly;
+// the tests pin it against ReferenceLabelPropagation.
 type LabelPropagation struct {
 	MaxIters int
 
-	g      *graph.Graph
-	label  []uint32
-	votes  []map[uint32]int
-	active *engine.Bitmap
-	moved  bool
+	g     *graph.Graph
+	label []uint32
+	// voteHead[v] indexes the first vote node of vertex v (-1 when none);
+	// voteLabel/voteCount/voteNext are the shared node arena.
+	voteHead  []int32
+	voteLabel []uint32
+	voteCount []int32
+	voteNext  []int32
+	active    *engine.Bitmap
+	moved     bool
 }
 
 // NewLabelPropagation returns a label-propagation program; maxIters 0 draws
@@ -44,7 +58,13 @@ func (lp *LabelPropagation) Reset(g *graph.Graph, rng *rand.Rand) {
 	for i := range lp.label {
 		lp.label[i] = uint32(i)
 	}
-	lp.votes = make([]map[uint32]int, g.NumV)
+	lp.voteHead = make([]int32, g.NumV)
+	for i := range lp.voteHead {
+		lp.voteHead[i] = -1
+	}
+	lp.voteLabel = lp.voteLabel[:0]
+	lp.voteCount = lp.voteCount[:0]
+	lp.voteNext = lp.voteNext[:0]
 	lp.active = engine.NewBitmap(g.NumV)
 	lp.active.SetAll()
 }
@@ -57,36 +77,79 @@ func (lp *LabelPropagation) BeforeIteration(iter int) bool {
 	if iter > 0 && !lp.moved {
 		return false
 	}
-	for i := range lp.votes {
-		lp.votes[i] = nil
-	}
 	lp.moved = false
 	return true
+}
+
+// vote records one src->dst label vote in the chain arena.
+func (lp *LabelPropagation) vote(dst graph.VertexID, label uint32) {
+	for idx := lp.voteHead[dst]; idx >= 0; idx = lp.voteNext[idx] {
+		if lp.voteLabel[idx] == label {
+			lp.voteCount[idx]++
+			return
+		}
+	}
+	idx := int32(len(lp.voteLabel))
+	lp.voteLabel = append(lp.voteLabel, label)
+	lp.voteCount = append(lp.voteCount, 1)
+	lp.voteNext = append(lp.voteNext, lp.voteHead[dst])
+	lp.voteHead[dst] = idx
 }
 
 // ProcessEdge implements engine.Program: the source votes its label onto
 // the destination.
 func (lp *LabelPropagation) ProcessEdge(e graph.Edge) bool {
-	m := lp.votes[e.Dst]
-	if m == nil {
-		m = make(map[uint32]int, 4)
-		lp.votes[e.Dst] = m
-	}
-	m[lp.label[e.Src]]++
+	lp.vote(e.Dst, lp.label[e.Src])
 	return false
 }
 
+// ProcessEdges implements engine.BatchProgram: the exact per-edge vote
+// applied in slice order with the label slice and chain heads hoisted out
+// of the interface-dispatch path. Must stay observably identical to
+// ProcessEdge, and allocates nothing once the vote arena has grown to the
+// iteration's working set.
+func (lp *LabelPropagation) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	allActive := active.Full()
+	label := lp.label
+	head := lp.voteHead
+	for _, e := range edges {
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		l := label[e.Src]
+		found := false
+		for idx := head[e.Dst]; idx >= 0; idx = lp.voteNext[idx] {
+			if lp.voteLabel[idx] == l {
+				lp.voteCount[idx]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			idx := int32(len(lp.voteLabel))
+			lp.voteLabel = append(lp.voteLabel, l)
+			lp.voteCount = append(lp.voteCount, 1)
+			lp.voteNext = append(lp.voteNext, head[e.Dst])
+			head[e.Dst] = idx
+		}
+	}
+	return processed, 0
+}
+
 // AfterIteration implements engine.Program: each vertex adopts the majority
-// vote.
+// vote. The walk consumes and resets the vote chains, restoring the arena
+// to empty for the next iteration without freeing its capacity.
 func (lp *LabelPropagation) AfterIteration(iter int) {
-	for v, m := range lp.votes {
-		if len(m) == 0 {
+	for v := range lp.voteHead {
+		idx := lp.voteHead[v]
+		if idx < 0 {
 			continue
 		}
 		best := lp.label[v]
-		bestCount := 0
-		for l, c := range m {
-			if c > bestCount || (c == bestCount && l < best) {
+		bestCount := int32(0)
+		for ; idx >= 0; idx = lp.voteNext[idx] {
+			if c, l := lp.voteCount[idx], lp.voteLabel[idx]; c > bestCount || (c == bestCount && l < best) {
 				best, bestCount = l, c
 			}
 		}
@@ -94,20 +157,25 @@ func (lp *LabelPropagation) AfterIteration(iter int) {
 			lp.label[v] = best
 			lp.moved = true
 		}
+		lp.voteHead[v] = -1
 	}
+	lp.voteLabel = lp.voteLabel[:0]
+	lp.voteCount = lp.voteCount[:0]
+	lp.voteNext = lp.voteNext[:0]
 }
 
 // Active implements engine.Program.
 func (lp *LabelPropagation) Active() *engine.Bitmap { return lp.active }
 
-// StateBytes implements engine.Program. The vote maps are transient
+// StateBytes implements engine.Program. The vote arena is transient
 // per-iteration scratch; the durable state is the label array + bitmap.
 func (lp *LabelPropagation) StateBytes() int64 {
 	return int64(len(lp.label))*4 + lp.active.Bytes()
 }
 
-// EdgeCost implements engine.Program: a map update — the most expensive
-// edge function in the suite, giving the profiler strongly skewed loads.
+// EdgeCost implements engine.Program: a vote-chain update — the most
+// expensive edge function in the suite, giving the profiler strongly skewed
+// loads.
 func (lp *LabelPropagation) EdgeCost() float64 { return 2.5 }
 
 // Labels exposes the community labels.

@@ -27,6 +27,7 @@ type PageRank struct {
 	g       *graph.Graph
 	rank    []float64
 	next    []float64
+	contrib []float64 // rank[v]/outDeg[v], refreshed each iteration
 	outDeg  []uint32
 	active  *engine.Bitmap
 	iters   int
@@ -59,6 +60,7 @@ func (p *PageRank) Reset(g *graph.Graph, rng *rand.Rand) {
 	n := g.NumV
 	p.rank = make([]float64, n)
 	p.next = make([]float64, n)
+	p.contrib = make([]float64, n)
 	for i := range p.rank {
 		p.rank[i] = 1.0 / float64(n)
 	}
@@ -69,13 +71,24 @@ func (p *PageRank) Reset(g *graph.Graph, rng *rand.Rand) {
 	p.done = false
 }
 
-// BeforeIteration implements engine.Program.
+// BeforeIteration implements engine.Program. It refreshes the per-vertex
+// contributions rank[v]/outDeg[v] so the per-edge work is a single add: the
+// quotient is the same float64 the per-edge divide would produce (one
+// divide per vertex per iteration instead of one per edge), so ranks stay
+// bit-identical.
 func (p *PageRank) BeforeIteration(iter int) bool {
 	if p.done || iter >= p.MaxIters {
 		return false
 	}
 	for i := range p.next {
 		p.next[i] = 0
+	}
+	for i, d := range p.outDeg {
+		if d != 0 {
+			p.contrib[i] = p.rank[i] / float64(d)
+		} else {
+			p.contrib[i] = 0
+		}
 	}
 	return true
 }
@@ -87,7 +100,7 @@ func (p *PageRank) ProcessEdge(e graph.Edge) bool {
 	if d == 0 {
 		return false
 	}
-	p.next[e.Dst] += p.rank[e.Src] / float64(d)
+	p.next[e.Dst] += p.contrib[e.Src]
 	return false
 }
 
@@ -113,14 +126,15 @@ func (p *PageRank) AfterIteration(iter int) {
 // the interface-dispatch path. Must stay observably identical to
 // ProcessEdge, including float operation order.
 func (p *PageRank) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
-	rank, next, deg := p.rank, p.next, p.outDeg
+	allActive := active.Full()
+	next, contrib, deg := p.next, p.contrib, p.outDeg
 	for _, e := range edges {
-		if !active.Has(int(e.Src)) {
+		if !allActive && !active.Has(int(e.Src)) {
 			continue
 		}
 		processed++
-		if d := deg[e.Src]; d != 0 {
-			next[e.Dst] += rank[e.Src] / float64(d)
+		if deg[e.Src] != 0 {
+			next[e.Dst] += contrib[e.Src]
 		}
 	}
 	return processed, 0

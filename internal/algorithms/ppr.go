@@ -21,12 +21,13 @@ type PersonalizedPageRank struct {
 	MaxIters  int
 	Tolerance float64
 
-	g      *graph.Graph
-	rank   []float64
-	next   []float64
-	outDeg []uint32
-	active *engine.Bitmap
-	done   bool
+	g       *graph.Graph
+	rank    []float64
+	next    []float64
+	contrib []float64 // rank[v]/outDeg[v] (0 for sinks), refreshed each iteration
+	outDeg  []uint32
+	active  *engine.Bitmap
+	done    bool
 }
 
 // NewPersonalizedPageRank returns a PPR program rooted at source.
@@ -57,6 +58,7 @@ func (p *PersonalizedPageRank) Reset(g *graph.Graph, rng *rand.Rand) {
 	}
 	p.rank = make([]float64, g.NumV)
 	p.next = make([]float64, g.NumV)
+	p.contrib = make([]float64, g.NumV)
 	p.rank[p.Source] = 1
 	p.outDeg = g.OutDegrees()
 	p.active = engine.NewBitmap(g.NumV)
@@ -64,13 +66,23 @@ func (p *PersonalizedPageRank) Reset(g *graph.Graph, rng *rand.Rand) {
 	p.done = false
 }
 
-// BeforeIteration implements engine.Program.
+// BeforeIteration implements engine.Program. Like PageRank, it refreshes
+// per-vertex contributions so the per-edge work is one add; the quotient is
+// the identical float64 the per-edge divide produced, so ranks are
+// unchanged bit for bit.
 func (p *PersonalizedPageRank) BeforeIteration(iter int) bool {
 	if p.done || iter >= p.MaxIters {
 		return false
 	}
 	for i := range p.next {
 		p.next[i] = 0
+	}
+	for i, d := range p.outDeg {
+		if d != 0 {
+			p.contrib[i] = p.rank[i] / float64(d)
+		} else {
+			p.contrib[i] = 0
+		}
 	}
 	return true
 }
@@ -81,8 +93,28 @@ func (p *PersonalizedPageRank) ProcessEdge(e graph.Edge) bool {
 	if d == 0 || p.rank[e.Src] == 0 {
 		return false
 	}
-	p.next[e.Dst] += p.rank[e.Src] / float64(d)
+	p.next[e.Dst] += p.contrib[e.Src]
 	return false
+}
+
+// ProcessEdges implements engine.BatchProgram: the exact per-edge update
+// applied in slice order, with the outDeg/rank/next slices hoisted out of
+// the interface-dispatch path. Must stay observably identical to
+// ProcessEdge, including float operation order, and allocates nothing.
+func (p *PersonalizedPageRank) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	allActive := active.Full()
+	rank, next, contrib, deg := p.rank, p.next, p.contrib, p.outDeg
+	for _, e := range edges {
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		if deg[e.Src] == 0 || rank[e.Src] == 0 {
+			continue
+		}
+		next[e.Dst] += contrib[e.Src]
+	}
+	return processed, 0
 }
 
 // AfterIteration implements engine.Program.

@@ -66,6 +66,29 @@ func (s *SSSP) ProcessEdge(e graph.Edge) bool {
 	return false
 }
 
+// ProcessEdges implements engine.BatchProgram: the exact per-edge relaxation
+// applied in slice order, with the dist slice and frontier bitmap hoisted
+// out of the interface-dispatch path. Must stay observably identical to
+// ProcessEdge — same float compare order, same activation count — and
+// allocates nothing.
+func (s *SSSP) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	allActive := active.Full()
+	dist := s.dist
+	next := s.next
+	for _, e := range edges {
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		processed++
+		if nd := dist[e.Src] + e.Weight; nd < dist[e.Dst] {
+			dist[e.Dst] = nd
+			next.Set(int(e.Dst))
+			activated++
+		}
+	}
+	return processed, activated
+}
+
 // AfterIteration implements engine.Program.
 func (s *SSSP) AfterIteration(iter int) {
 	s.active.CopyFrom(s.next)

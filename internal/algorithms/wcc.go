@@ -90,9 +90,10 @@ func (w *WCC) AfterIteration(iter int) {
 // to ProcessEdge, applied in slice order without per-edge interface
 // dispatch.
 func (w *WCC) ProcessEdges(edges []graph.Edge, active *engine.Bitmap) (processed, activated uint64) {
+	allActive := active.Full()
 	label := w.label
 	for _, e := range edges {
-		if !active.Has(int(e.Src)) {
+		if !allActive && !active.Has(int(e.Src)) {
 			continue
 		}
 		processed++

@@ -38,6 +38,8 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig4", "table3", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"table4", "ablation", "openloop", "parallel", "adaptive", "replay", "hotpath", "hotpath-serial",
+		"hotpath-serial-wcc", "hotpath-serial-bfs", "hotpath-serial-sssp", "hotpath-serial-kcore",
+		"hotpath-serial-labelprop", "hotpath-serial-ppr",
 		"serve-http"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(names), len(want))

@@ -80,6 +80,12 @@ var experiments = []experiment{
 	{"replay", "week-in-the-life trace replay through the admission service on a virtual clock", (*Harness).replayExperiment},
 	{"hotpath", "chunk-apply hot-path throughput (Medges/s), serial + worker sweep", (*Harness).hotpath},
 	{"hotpath-serial", "hot-path throughput, serial driver only (the perf-gate variant)", (*Harness).hotpathSerial},
+	{"hotpath-serial-wcc", "serial hot path, homogeneous WCC jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("wcc") }},
+	{"hotpath-serial-bfs", "serial hot path, homogeneous BFS jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("bfs") }},
+	{"hotpath-serial-sssp", "serial hot path, homogeneous SSSP jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("sssp") }},
+	{"hotpath-serial-kcore", "serial hot path, homogeneous k-core jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("kcore") }},
+	{"hotpath-serial-labelprop", "serial hot path, homogeneous label-propagation jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("labelprop") }},
+	{"hotpath-serial-ppr", "serial hot path, homogeneous PPR jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("ppr") }},
 	{"serve-http", "Figure-2 trace through the HTTP daemon over a loopback socket", (*Harness).serveHTTP},
 }
 

@@ -26,7 +26,22 @@ func (h *Harness) hotpathSerial() ([]*Table, error) {
 	return h.hotpathRows([]int{0})
 }
 
+// hotpathSerialAlgo is the per-algorithm serial gate variant: the same
+// serial driver over a homogeneous rotation of one batched algorithm, so
+// benchgate pins each algorithm's ProcessEdges hot path individually
+// instead of only the mixed rotation's blend.
+func (h *Harness) hotpathSerialAlgo(algo string) ([]*Table, error) {
+	return h.hotpathRowsAlgo([]int{0}, algo)
+}
+
 func (h *Harness) hotpathRows(workerSweep []int) ([]*Table, error) {
+	return h.hotpathRowsAlgo(workerSweep, "")
+}
+
+// hotpathRowsAlgo runs the hot-path throughput rows; algo "" uses the
+// paper's mixed WCC/PageRank/SSSP/BFS rotation, otherwise a homogeneous
+// rotation of the named algorithm.
+func (h *Harness) hotpathRowsAlgo(workerSweep []int, algo string) ([]*Table, error) {
 	e, err := h.gridEnv("twitter")
 	if err != nil {
 		return nil, err
@@ -35,8 +50,14 @@ func (h *Harness) hotpathRows(workerSweep []int) ([]*Table, error) {
 	if jobCount <= 0 {
 		jobCount = 8
 	}
+	mix := "rotation"
+	mk := func() *jobs.Workload { return jobs.Rotation(jobCount, h.Seed) }
+	if algo != "" {
+		mix = algo
+		mk = func() *jobs.Workload { return jobs.RotationOf(algo, jobCount, h.Seed) }
+	}
 	t := &Table{
-		Title:   fmt.Sprintf("hot path: streaming throughput, %d jobs, twitter", jobCount),
+		Title:   fmt.Sprintf("hot path: streaming throughput, %d %s jobs, twitter", jobCount, mix),
 		Headers: []string{"driver", "wall", "scanned edges", "Medges/s", "LLC miss rate"},
 		Notes: []string{
 			"Medges/s: scanned edges per second of real wall-clock — the hot-path throughput the LLC simulation permits",
@@ -44,9 +65,7 @@ func (h *Harness) hotpathRows(workerSweep []int) ([]*Table, error) {
 		},
 	}
 	for _, w := range workerSweep {
-		res, err := e.RunScheme(SchemeM, func() *jobs.Workload {
-			return jobs.Rotation(jobCount, h.Seed)
-		}, RunOptions{Cores: h.Cores, Workers: w})
+		res, err := e.RunScheme(SchemeM, mk, RunOptions{Cores: h.Cores, Workers: w})
 		if err != nil {
 			return nil, fmt.Errorf("workers=%d: %w", w, err)
 		}

@@ -430,7 +430,16 @@ func (s *System) beginIteration(js *jobState) bool {
 		s.markDetachedLocked(js)
 		return false
 	}
-	js.active = make(map[int]bool)
+	// The active/processed sets are per-iteration scratch: allocated once
+	// per job and cleared in place, so the round loop of a long-running job
+	// stops churning the heap.
+	if js.active == nil {
+		js.active = make(map[int]bool, len(s.parts))
+		js.processed = make(map[int]bool, len(s.parts))
+	} else {
+		clear(js.active)
+		clear(js.processed)
+	}
 	act := js.job.Prog.Active()
 	for _, p := range s.parts {
 		if len(p.Edges) == 0 {
@@ -440,7 +449,6 @@ func (s *System) beginIteration(js *jobState) bool {
 			js.active[p.ID] = true
 		}
 	}
-	js.processed = make(map[int]bool)
 	// Barrier-waiters take precedence over mid-round attachment: if any job
 	// is already waiting for a fresh round, attaching would keep extending
 	// the in-flight round and starve it, so the joiner queues at the

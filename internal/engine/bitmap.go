@@ -7,21 +7,29 @@ import "math/bits"
 type Bitmap struct {
 	words []uint64
 	n     int
+	full  bool // cached result of the last Full scan
+	dirty bool // words changed since the last Full scan
 }
 
 // NewBitmap returns a bitmap for n vertices, all clear.
 func NewBitmap(n int) *Bitmap {
-	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n, full: n == 0}
 }
 
 // Len returns the number of addressable bits.
 func (b *Bitmap) Len() int { return b.n }
 
 // Set marks bit i.
-func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b *Bitmap) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+	b.dirty = true
+}
 
 // Clear unmarks bit i.
-func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+func (b *Bitmap) Clear(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+	b.dirty = true
+}
 
 // Has reports whether bit i is set.
 func (b *Bitmap) Has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
@@ -35,6 +43,8 @@ func (b *Bitmap) SetAll() {
 	if extra := len(b.words)*64 - b.n; extra > 0 && len(b.words) > 0 {
 		b.words[len(b.words)-1] >>= uint(extra)
 	}
+	b.full = true
+	b.dirty = false
 }
 
 // Reset clears every bit.
@@ -42,6 +52,32 @@ func (b *Bitmap) Reset() {
 	for i := range b.words {
 		b.words[i] = 0
 	}
+	b.full = b.n == 0
+	b.dirty = false
+}
+
+// Full reports whether every bit in [0, Len) is set. The scan result is
+// cached and only recomputed after a mutation, so the hot path — one call
+// per applied chunk — is a pair of flag reads; all-active programs
+// (PageRank-style full sweeps) then skip the per-edge Has probe entirely.
+func (b *Bitmap) Full() bool {
+	if b.dirty {
+		b.dirty = false
+		b.full = true
+		for i, w := range b.words {
+			want := ^uint64(0)
+			if i == len(b.words)-1 {
+				if extra := len(b.words)*64 - b.n; extra > 0 {
+					want >>= uint(extra)
+				}
+			}
+			if w != want {
+				b.full = false
+				break
+			}
+		}
+	}
+	return b.full
 }
 
 // Count returns the number of set bits.
@@ -116,6 +152,8 @@ func (b *Bitmap) CopyFrom(src *Bitmap) {
 		panic("engine: CopyFrom length mismatch")
 	}
 	copy(b.words, src.words)
+	b.full = src.full
+	b.dirty = src.dirty
 }
 
 // Or merges src into b.
@@ -126,6 +164,7 @@ func (b *Bitmap) Or(src *Bitmap) {
 	for i := range b.words {
 		b.words[i] |= src.words[i]
 	}
+	b.dirty = true
 }
 
 // Bytes returns the bitmap's memory footprint.

@@ -73,6 +73,12 @@ type Program interface {
 // so engines may use either path interchangeably. Job.ApplyChunk uses it to
 // skip the per-edge interface dispatch on the hot path, falling back to
 // ProcessEdge for programs that do not implement it.
+//
+// Implementations must treat active as read-only: the engine may pass a
+// pre-gated edge slice with a shared all-active bitmap in place of the
+// program's own frontier (it already paid the per-edge probes while
+// collecting the chunk's state accesses), so writes belong on the program's
+// own next-frontier state, never on the parameter.
 type BatchProgram interface {
 	Program
 	ProcessEdges(edges []graph.Edge, active *Bitmap) (processed, activated uint64)

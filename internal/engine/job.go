@@ -71,8 +71,64 @@ type Job struct {
 	// Done marks completion.
 	Done bool
 
+	// arena is the job's reusable chunk-apply scratch (the collected state
+	// addresses of the chunk in flight plus the set-grouping buffers). The
+	// executor serializes a job's chunks — only one ApplyChunk in flight per
+	// job — so the arena is uncontended; it grows to the chunk high-water
+	// mark once and steady-state chunk application allocates nothing (the
+	// zero-alloc gate in zeroalloc_test asserts it).
+	arena chunkArena
+
 	rng *rand.Rand
 }
+
+// chunkArena holds per-job scratch reused across chunk applications.
+type chunkArena struct {
+	stateAddrs []uint64
+	scratch    memsim.BatchScratch
+
+	// Per-line dedup table for the batch path: the chunk's state accesses
+	// are aggregated into one memsim.BatchEntry per distinct line as they
+	// are collected, so the pricing pass scales with distinct lines (~8x
+	// fewer on hub-skewed graphs) instead of raw accesses. lineStamp is
+	// indexed by state line relative to StateBase and packs the chunk
+	// epoch (high 32 bits, so stale chunks need no clearing) with the
+	// line's entry slot (low 32) — one random load per access.
+	entries   []memsim.BatchEntry
+	lineStamp []uint64
+	epoch     uint32
+
+	// gated holds the chunk's active-source edges when a batch program runs
+	// under a partial frontier, so ProcessEdges skips the second per-edge
+	// frontier probe over the whole chunk.
+	gated []graph.Edge
+
+	// memo caches the set-grouped per-line aggregates of full-active batch
+	// programs, keyed by chunk. A chunk's edges are immutable for the
+	// lifetime of an experiment and a job's StateBase/VertexPay never
+	// change, so when every vertex is active both the aggregates and their
+	// set grouping are pure functions of the chunk — and jobs re-apply the
+	// same chunks every iteration. Bounded so a week-long replay over a
+	// huge grid cannot hoard memory.
+	memo map[chunkKey]memsim.GroupedEntries
+}
+
+// chunkKey identifies one chunk of the edge grid: its block base address
+// plus the sub-range streamed.
+type chunkKey struct {
+	base  uint64
+	first int
+	n     int
+}
+
+// memoCap bounds a job's per-chunk memo (at ~2KB per typical chunk this is
+// a few MB per job).
+const memoCap = 2048
+
+// allActiveBitmap is the shared zero-length bitmap handed to ProcessEdges
+// with a pre-gated edge slice: Full() on an empty bitmap is vacuously true,
+// so batch programs skip their per-edge frontier probe. Never mutated.
+var allActiveBitmap = NewBitmap(0)
 
 // NewJob creates a job with a deterministic RNG derived from seed.
 func NewJob(id int, prog Program, seed int64) *Job {
@@ -121,75 +177,206 @@ func StreamEdges(j *Job, edges []graph.Edge, baseAddr uint64, first int, cache *
 // mutates per-vertex state that disjoint chunks may share through common
 // destinations.
 //
-// The simulated access order is canonical across both accounting models:
-// each 64-byte line-run of the 12-byte-edge stream (~5.3 edges) is scanned
-// first — one access per edge, all to the same cache line — then the run's
-// active-source edges access their two endpoint state lines and are
-// processed, in edge order. ApplyChunk is the batched hot path: it accounts
-// every line-run under a single set-lock acquisition (memsim.Cache.TouchRun),
-// tallies hits/misses/processed counts as integers, flushes them to the
-// job's Counters and the cache-wide totals with one atomic add per counter
-// at chunk end, and prices simulated time with a handful of multiplications
-// instead of per-access float adds. Programs implementing BatchProgram are
-// additionally processed one run at a time, skipping the per-edge interface
-// dispatch. ApplyChunkPerEdge is the reference model for the same access
-// sequence; under a serial schedule the two produce identical counters —
-// the scenario harness's sim-equality invariant proves it.
+// The simulated access order is canonical across both accounting models, in
+// two phases per chunk. Stream phase: each 64-byte line-run of the
+// 12-byte-edge stream (~5.3 edges) is scanned — one access per edge, all to
+// the same cache line — and the run's active-source edges are processed, in
+// edge order, with their two endpoint state addresses collected. State
+// phase: the chunk's collected state accesses are applied at the end of the
+// chunk. Formula (1) sizes a chunk so its edges plus the attending jobs'
+// vertex state fit in the LLC together, so settling the chunk's state lines
+// at a chunk-end barrier instead of interleaved mid-scan is the same
+// residency story the chunking design already asserts — and it is what lets
+// the hot path batch the state accesses set-major.
+//
+// ApplyChunk is the batched hot path: the scan accounts every line-run
+// under a single set-lock acquisition (memsim.Cache.TouchRun), programs
+// implementing BatchProgram are processed one run at a time (skipping the
+// per-edge interface dispatch), and the state phase goes through
+// memsim.Cache.TouchBatch — grouped by cache set, one lock acquisition per
+// group, provably bit-identical to in-order application. Hits, misses and
+// processed counts are tallied as integers and flushed to the job's
+// Counters and the sharded cache-wide totals with one atomic add per
+// counter at chunk end. The collection buffers live in the job's arena, so
+// steady-state chunk application performs zero heap allocations.
+// ApplyChunkPerEdge is the reference model for the same canonical sequence;
+// under a serial schedule the two produce identical counters — the scenario
+// harness's sim-equality invariant proves it.
 func (j *Job) ApplyChunk(edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
 	start := time.Now()
 	active := j.Prog.Active()
+	allActive := active.Full()
 	bp, _ := j.Prog.(BatchProgram)
 	var st StreamStats
 	var tally memsim.Tally
 	n := len(edges)
-	for i := 0; i < n; {
-		addr := baseAddr + uint64(first+i)*graph.EdgeSize
-		lineEnd := (addr/memsim.LineSize + 1) * memsim.LineSize
-		run := i + int((lineEnd-addr+graph.EdgeSize-1)/graph.EdgeSize)
-		if run > n {
-			run = n
+	stateBase, vpay := j.StateBase, j.VertexPay
+	// Memoized fast path: a full-active batch program touches every edge, so
+	// its per-line aggregates depend only on the chunk itself — and the
+	// executor re-applies the same chunks every iteration. After the first
+	// visit the collection loop disappears; the chunk prices as one fused
+	// scan plus the cached aggregates, and the compute runs once through
+	// ProcessEdges. Every access position a cached entry carries is the same
+	// batch-global position the loop would have assigned, so the pricing is
+	// bit-identical to a fresh collection.
+	if bp != nil && allActive {
+		if j.arena.memo == nil {
+			j.arena.memo = make(map[chunkKey]memsim.GroupedEntries)
 		}
-		cache.TouchRun(addr, uint64(run-i), &tally)
-		for k := i; k < run; k++ {
-			e := edges[k]
-			if !active.Has(int(e.Src)) {
-				continue
-			}
-			// Job-specific data accesses for the two endpoints.
-			srcAddr := j.StateBase + uint64(e.Src)*j.VertexPay
-			dstAddr := j.StateBase + uint64(e.Dst)*j.VertexPay
-			if srcAddr/memsim.LineSize == dstAddr/memsim.LineSize {
-				cache.TouchRun(srcAddr, 2, &tally)
-			} else {
-				cache.TouchRun(srcAddr, 1, &tally)
-				cache.TouchRun(dstAddr, 1, &tally)
-			}
-			if bp == nil {
-				if j.Prog.ProcessEdge(e) {
-					st.Activated++
-				}
-				st.Processed++
-			}
+		if g, ok := j.arena.memo[chunkKey{baseAddr, first, n}]; ok {
+			cache.ScanChunk(baseAddr, first, n, graph.EdgeSize, &tally)
+			st.Processed, st.Activated = bp.ProcessEdges(edges, active)
+			cache.TouchGrouped(&g, uint64(2*n), &tally)
+			st.Scanned = uint64(n)
+			cache.FlushTally(tally, &j.Ctr, j.ID)
+			j.priceChunk(&st, tally, cm, start)
+			return st
 		}
-		if bp != nil {
-			p, a := bp.ProcessEdges(edges[i:run], active)
-			st.Processed += p
-			st.Activated += a
+	}
+	// Size the per-line dedup table to the job's state extent (one slot per
+	// 64B state line) and open a fresh epoch for this chunk. Stale stamps
+	// from earlier chunks are simply non-matching — no clearing needed —
+	// except on the (4-billion-chunk) epoch wraparound.
+	lineBase := stateBase / memsim.LineSize
+	// (stateBase + x)/LineSize - lineBase == (rem + x)/LineSize for any x,
+	// so the per-endpoint line index needs only the hoisted remainder.
+	rem := stateBase & (memsim.LineSize - 1)
+	needLines := (uint64(active.Len())*vpay)/memsim.LineSize + 2
+	if uint64(len(j.arena.lineStamp)) < needLines {
+		j.arena.lineStamp = make([]uint64, needLines)
+		j.arena.epoch = 0
+	}
+	j.arena.epoch++
+	if j.arena.epoch == 0 {
+		clear(j.arena.lineStamp)
+		j.arena.epoch = 1
+	}
+	epoch, stamp := uint64(j.arena.epoch)<<32, j.arena.lineStamp
+	entries := j.arena.entries[:0]
+	pos := uint32(0)
+	// For a gated batch program the collection loop already pays one Has
+	// probe per edge; gathering the survivors lets ProcessEdges run on the
+	// pre-gated slice (flagged all-active via a zero-length bitmap, which is
+	// vacuously full) instead of re-probing the frontier over the whole
+	// chunk. Same edges in the same order — observably identical.
+	gatherGated := bp != nil && !allActive
+	var gated []graph.Edge
+	if gatherGated {
+		if cap(j.arena.gated) < n {
+			j.arena.gated = make([]graph.Edge, 0, n)
 		}
-		i = run
+		gated = j.arena.gated[:0]
+	}
+	// Stream phase: the chunk's edge lines in storage order. State accesses
+	// settle at the chunk-end barrier, so the scan is a pure prefix of the
+	// chunk's canonical access sequence and prices in one fused call.
+	cache.ScanChunk(baseAddr, first, n, graph.EdgeSize, &tally)
+	for k := 0; k < n; k++ {
+		e := edges[k]
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		// Job-specific data accesses for the two endpoints, settled in the
+		// chunk's state phase below: aggregate per distinct line.
+		li := (rem + uint64(e.Src)*vpay) / memsim.LineSize
+		if st := stamp[li]; st&^0xffffffff == epoch {
+			en := &entries[uint32(st)]
+			en.Count++
+			en.Last = pos
+		} else {
+			stamp[li] = epoch | uint64(len(entries))
+			entries = append(entries, memsim.BatchEntry{Line: lineBase + li, Count: 1, First: pos, Last: pos})
+		}
+		pos++
+		li = (rem + uint64(e.Dst)*vpay) / memsim.LineSize
+		if st := stamp[li]; st&^0xffffffff == epoch {
+			en := &entries[uint32(st)]
+			en.Count++
+			en.Last = pos
+		} else {
+			stamp[li] = epoch | uint64(len(entries))
+			entries = append(entries, memsim.BatchEntry{Line: lineBase + li, Count: 1, First: pos, Last: pos})
+		}
+		pos++
+		if gatherGated {
+			gated = append(gated, e)
+		} else if bp == nil {
+			if j.Prog.ProcessEdge(e) {
+				st.Activated++
+			}
+			st.Processed++
+		}
+	}
+	if bp != nil {
+		var p, a uint64
+		if gatherGated {
+			j.arena.gated = gated
+			p, a = bp.ProcessEdges(gated, allActiveBitmap)
+		} else {
+			p, a = bp.ProcessEdges(edges, active)
+		}
+		st.Processed += p
+		st.Activated += a
+	}
+	j.arena.entries = entries
+	if bp != nil && allActive {
+		// Group once, apply, and memoize the grouping for every later visit
+		// of this chunk (a failed grouping means the fallback below, which is
+		// never memoized — it must re-derive raw addresses each time anyway).
+		if g, ok := cache.GroupEntries(entries, &j.arena.scratch); ok {
+			cache.TouchGrouped(&g, uint64(pos), &tally)
+			if len(j.arena.memo) < memoCap {
+				j.arena.memo[chunkKey{baseAddr, first, n}] = g
+			}
+		} else {
+			j.rawStateBatch(edges, active, true, cache, &tally)
+		}
+	} else if !cache.TouchEntries(entries, uint64(pos), &j.arena.scratch, &tally) {
+		// A set-group's distinct lines exceeded the cache's ways, so the
+		// per-line aggregates can't settle the phase exactly; re-collect
+		// the raw access stream (pure address math — compute already ran)
+		// and price it through the order-exact batch path.
+		j.rawStateBatch(edges, active, allActive, cache, &tally)
 	}
 	st.Scanned = uint64(n)
-	cache.FlushTally(tally, &j.Ctr)
+	cache.FlushTally(tally, &j.Ctr, j.ID)
 	j.priceChunk(&st, tally, cm, start)
 	return st
 }
 
+// rawStateBatch is the exact-order fallback for a chunk whose per-line
+// aggregates could not settle through TouchEntries: it re-collects the raw
+// state access stream (pure address math — the compute already ran) and
+// prices it through TouchBatch, which preserves each set's access order.
+func (j *Job) rawStateBatch(edges []graph.Edge, active *Bitmap, allActive bool, cache *memsim.Cache, tally *memsim.Tally) {
+	n := len(edges)
+	if cap(j.arena.stateAddrs) < 2*n {
+		j.arena.stateAddrs = make([]uint64, 2*n)
+	}
+	addrs := j.arena.stateAddrs[:0]
+	stateBase, vpay := j.StateBase, j.VertexPay
+	for _, e := range edges {
+		if !allActive && !active.Has(int(e.Src)) {
+			continue
+		}
+		addrs = append(addrs,
+			stateBase+uint64(e.Src)*vpay,
+			stateBase+uint64(e.Dst)*vpay)
+	}
+	cache.TouchBatch(addrs, &j.arena.scratch, tally)
+	j.arena.stateAddrs = addrs
+}
+
 // ApplyChunkPerEdge is the reference accounting model: the same canonical
-// access sequence as ApplyChunk, priced one memsim.Cache.Touch at a time —
+// access sequence as ApplyChunk — stream phase, then the chunk's state
+// accesses — priced one memsim.Cache.Touch at a time, in program order, with
 // one set-lock acquisition and one atomic update per simulated access, and
-// always the per-edge ProcessEdge path. It exists to verify the batched hot
-// path (core.Config.PerEdgeSim routes a system through it), not for
-// production streaming.
+// always the per-edge ProcessEdge path. The state phase applies the
+// collected addresses in plain collection order; TouchBatch's set-major
+// order is observably identical (memsim's TestTouchBatchEquivalence), so
+// the two models' counters match bit for bit under a serial schedule. It
+// exists to verify the batched hot path (core.Config.PerEdgeSim routes a
+// system through it), not for production streaming.
 func (j *Job) ApplyChunkPerEdge(edges []graph.Edge, baseAddr uint64, first int, cache *memsim.Cache, cm CostModel) StreamStats {
 	start := time.Now()
 	active := j.Prog.Active()
@@ -202,6 +389,7 @@ func (j *Job) ApplyChunkPerEdge(edges []graph.Edge, baseAddr uint64, first int, 
 			tally.Hits++
 		}
 	}
+	addrs := j.arena.stateAddrs[:0]
 	n := len(edges)
 	for i := 0; i < n; {
 		addr := baseAddr + uint64(first+i)*graph.EdgeSize
@@ -218,8 +406,9 @@ func (j *Job) ApplyChunkPerEdge(edges []graph.Edge, baseAddr uint64, first int, 
 			if !active.Has(int(e.Src)) {
 				continue
 			}
-			touch(j.StateBase + uint64(e.Src)*j.VertexPay)
-			touch(j.StateBase + uint64(e.Dst)*j.VertexPay)
+			addrs = append(addrs,
+				j.StateBase+uint64(e.Src)*j.VertexPay,
+				j.StateBase+uint64(e.Dst)*j.VertexPay)
 			if j.Prog.ProcessEdge(e) {
 				st.Activated++
 			}
@@ -227,6 +416,10 @@ func (j *Job) ApplyChunkPerEdge(edges []graph.Edge, baseAddr uint64, first int, 
 		}
 		i = run
 	}
+	for _, a := range addrs {
+		touch(a)
+	}
+	j.arena.stateAddrs = addrs
 	st.Scanned = uint64(n)
 	j.priceChunk(&st, tally, cm, start)
 	return st

@@ -1,0 +1,69 @@
+package engine_test
+
+import (
+	"testing"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/memsim"
+)
+
+// TestApplyChunkZeroAlloc is the steady-state allocation gate the per-worker
+// arenas exist for: after the first iterations have grown a job's arena
+// buffers and populated its per-chunk memo, re-applying the same chunks must
+// not allocate at all — for every fallback algorithm, full-active and
+// frontier-driven alike. Any new per-chunk allocation on the hot path (a
+// fresh slice, an escaping closure, a map insert per apply) trips this gate
+// long before it shows up as a benchmark regression.
+func TestApplyChunkZeroAlloc(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("zeroalloc", 512, 6000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]engine.Program{
+		"pagerank":  algorithms.NewPageRank(0.85, 50),
+		"ppr":       algorithms.NewPersonalizedPageRank(3, 0.85, 50),
+		"wcc":       algorithms.NewWCC(50),
+		"bfs":       algorithms.NewBFS(3),
+		"sssp":      algorithms.NewSSSP(3),
+		"kcore":     algorithms.NewKCore(3),
+		"labelprop": algorithms.NewLabelPropagation(50),
+	}
+	const chunk = 777
+	for name, prog := range progs {
+		t.Run(name, func(t *testing.T) {
+			cache, err := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := engine.NewJob(1, prog, 42)
+			j.Bind(g)
+			j.StateBase = 1 << 30
+			cm := engine.DefaultCostModel()
+			apply := func() {
+				for first := 0; first < len(g.Edges); first += chunk {
+					hi := first + chunk
+					if hi > len(g.Edges) {
+						hi = len(g.Edges)
+					}
+					j.ApplyChunk(g.Edges[first:hi], 0, first, cache, cm)
+				}
+			}
+			// Warm-up: two full iterations grow the arena slices, populate
+			// the per-chunk memo for full-active programs, and let
+			// frontier-driven programs reach a representative mixed
+			// frontier.
+			for iter := 0; iter < 2 && prog.BeforeIteration(iter); iter++ {
+				apply()
+				prog.AfterIteration(iter)
+			}
+			// Steady state: the frontier is frozen (no Before/AfterIteration)
+			// so every run re-applies identical chunks, exactly like the
+			// iteration-over-iteration hot loop.
+			if allocs := testing.AllocsPerRun(10, apply); allocs != 0 {
+				t.Fatalf("steady-state ApplyChunk allocated %.1f times per pass over the graph", allocs)
+			}
+		})
+	}
+}

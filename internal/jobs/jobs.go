@@ -21,9 +21,11 @@ type Workload struct {
 	Delay []time.Duration
 }
 
-// NewProgram instantiates one of the paper's four benchmark algorithms by
-// name with randomised parameters drawn from rng (Section 5.1: random
-// damping, random roots, random WCC iteration budgets).
+// NewProgram instantiates a benchmark algorithm by name with randomised
+// parameters drawn from rng (Section 5.1: random damping, random roots,
+// random iteration budgets). Beyond the paper's four-job rotation it also
+// covers the extended fallback set (k-core, label propagation, PPR) used by
+// the per-algorithm scenario and benchmark suites.
 func NewProgram(algo string, rng *rand.Rand) engine.Program {
 	switch algo {
 	case "pagerank":
@@ -34,6 +36,12 @@ func NewProgram(algo string, rng *rand.Rand) engine.Program {
 		return algorithms.NewRandomBFS()
 	case "sssp":
 		return algorithms.NewRandomSSSP()
+	case "kcore":
+		return algorithms.NewKCore(0) // k drawn from [2,8] at Reset
+	case "labelprop":
+		return algorithms.NewLabelPropagation(0) // budget randomised at Reset
+	case "ppr":
+		return algorithms.NewRandomPPR()
 	default:
 		panic("jobs: unknown algorithm " + algo)
 	}

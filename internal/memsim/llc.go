@@ -8,16 +8,31 @@
 // memory-access streams through a set-associative LRU cache model and counts
 // the same events. The substitution preserves the comparison the paper makes:
 // the same access streams that would thrash a real LLC thrash the model.
+//
+// The model is a product of independent per-set automata: each set carries
+// its own lock, tick and LRU state, and an access only ever reads or writes
+// the state of the one set its line maps to. Two consequences the hot path
+// exploits: accesses to different sets commute (reordering a stream across
+// sets, while preserving each set's own subsequence, changes no per-access
+// outcome — TouchBatch rests on this, and the property test proves it), and
+// there is no cache-global state to contend on per access — the cache-wide
+// hit/miss totals are sharded (per set for Touch, per flushed tally for the
+// batched path) and only summed when read.
 package memsim
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
 )
 
 // LineSize is the simulated cache-line size in bytes.
 const LineSize = 64
+
+// MaxWays bounds the associativity so each set's tag and LRU-clock arrays
+// can live inline in the set (no pointer chase on the hot path). 16 matches
+// contemporary Xeon LLCs; NewCache rejects higher values.
+const MaxWays = 16
 
 // Config describes a simulated LLC.
 type Config struct {
@@ -56,6 +71,21 @@ func (c *Counters) MissRate() float64 {
 	return float64(m) / float64(h+m)
 }
 
+// tallyShards is the number of shards the cache-wide hit/miss totals are
+// split across. Shard selection only balances load (Touch uses the set
+// index, FlushTally a caller-supplied slot); the sum over shards is the
+// total either way.
+const tallyShards = 64
+
+// tallyShard is one padded slot of the sharded cache-wide totals. The
+// padding keeps two shards off one hardware cache line, so concurrent
+// workers flushing different shards never false-share.
+type tallyShard struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	_      [48]byte
+}
+
 // Cache is a shared, set-associative, LRU-replacement cache model. Addresses
 // are abstract byte addresses in a flat simulated physical space; callers
 // derive them from (region base + offset). Cache is safe for concurrent use;
@@ -68,22 +98,84 @@ type Cache struct {
 	setShift uint
 	sets     []cacheSet
 
-	totalMisses atomic.Uint64
-	totalHits   atomic.Uint64
+	// locks spinlock-protects the sets, one lock per lockSpan consecutive
+	// sets. Coarser-than-set locking costs nothing in correctness (a lock
+	// still serializes every access to the sets it covers) and lets the
+	// sequential scan of a chunk's edge lines — consecutive lines, hence
+	// consecutive sets — amortize one atomic acquire over up to lockSpan
+	// line touches instead of paying a CAS per line.
+	locks []lockShard
+
+	// shards holds the cache-wide hit/miss totals, sharded so no two
+	// concurrent streamers contend on a single atomic word. TotalHits and
+	// TotalMisses sum them on read.
+	shards [tallyShards]tallyShard
 }
 
+// lockSpanShift gives lockSpan = 16 sets per lock shard: small enough that
+// concurrent streamers over different regions rarely collide, large enough
+// that a sequential line scan acquires ~1/16th the locks.
+const lockSpanShift = 4
+
+// cacheSet is one set's complete state, inline (no pointer chase). Ways are
+// kept in most-recently-used-first order (a hit or fill moves the way to
+// slot 0), so the tag scan of a skewed access stream usually terminates at
+// w0 — tick and w0 share the set's first real cache line. The remaining
+// ways are stored as separate tag and clock planes: a deep tag scan and the
+// miss path's full victim scan each stream one contiguous array instead of
+// striding over interleaved pairs. Way positions are internal — eviction
+// picks the minimum clock wherever it sits — so the ordering games are
+// invisible to the model.
 type cacheSet struct {
-	mu    sync.Mutex
-	tags  []uint64 // tag per way; 0 means empty (tag values are shifted to avoid 0)
-	clock []uint64 // LRU timestamps
-	tick  uint64
+	tick uint64
+	w0   cacheWay            // way 0 (MRU) inline: the shallow probe reads one line
+	tags [MaxWays - 1]uint64 // ways 1..15 tags, contiguous: the deep scan streams them
+	clks [MaxWays - 1]uint64 // ways 1..15 clocks, contiguous: so does the victim scan
+	_    [56]byte            // pad to 320B so sets stay line-aligned in the array
 }
+
+// cacheWay is the MRU way's inline tag/clock pair (the deeper ways live in
+// cacheSet's split planes).
+type cacheWay struct {
+	tag   uint64 // 0 means empty (tags are shifted to avoid 0)
+	clock uint64 // LRU timestamp
+}
+
+// lockShard is one padded spinlock covering lockSpan consecutive sets.
+type lockShard struct {
+	lock atomic.Uint32
+	_    [60]byte
+}
+
+// lockOf returns the lock shard guarding setIdx.
+func (c *Cache) lockOf(setIdx uint64) *lockShard { return &c.locks[setIdx>>lockSpanShift] }
+
+// acquire takes the shard's spinlock. The critical section is a handful of
+// nanoseconds (a few tag scans) and never blocks, so spinning beats parking;
+// the occasional Gosched keeps a constrained GOMAXPROCS from livelocking.
+func (l *lockShard) acquire() {
+	for !l.lock.CompareAndSwap(0, 1) {
+		spins := 0
+		for l.lock.Load() != 0 {
+			spins++
+			if spins >= 64 {
+				runtime.Gosched()
+				spins = 0
+			}
+		}
+	}
+}
+
+func (l *lockShard) release() { l.lock.Store(0) }
 
 // NewCache builds a cache from cfg. SizeBytes is rounded down to a power-of-
 // two number of sets; a cache smaller than one set is rejected.
 func NewCache(cfg Config) (*Cache, error) {
 	if cfg.Ways <= 0 {
 		return nil, fmt.Errorf("memsim: ways must be positive, got %d", cfg.Ways)
+	}
+	if cfg.Ways > MaxWays {
+		return nil, fmt.Errorf("memsim: ways must be <= %d, got %d", MaxWays, cfg.Ways)
 	}
 	lines := cfg.SizeBytes / LineSize
 	sets := lines / int64(cfg.Ways)
@@ -97,12 +189,12 @@ func NewCache(cfg Config) (*Cache, error) {
 		p *= 2
 		shift++
 	}
-	c := &Cache{ways: cfg.Ways, numSets: p, setShift: shift, sets: make([]cacheSet, p)}
-	for i := range c.sets {
-		c.sets[i].tags = make([]uint64, cfg.Ways)
-		c.sets[i].clock = make([]uint64, cfg.Ways)
+	nLocks := (p + (1 << lockSpanShift) - 1) >> lockSpanShift
+	if nLocks == 0 {
+		nLocks = 1
 	}
-	return c, nil
+	return &Cache{ways: cfg.Ways, numSets: p, setShift: shift,
+		sets: make([]cacheSet, p), locks: make([]lockShard, nLocks)}, nil
 }
 
 // SizeBytes reports the modelled capacity.
@@ -111,11 +203,11 @@ func (c *Cache) SizeBytes() int64 {
 }
 
 // Tally is a local, unsynchronized accumulator of hit/miss counts. The
-// batched hot path (TouchRun) tallies accesses here instead of bumping the
-// shared atomics per access, and FlushTally folds a whole chunk's deltas
-// into the cache-wide totals and a job's Counters with one atomic add per
-// counter. A Tally must not be shared between goroutines without external
-// synchronization.
+// batched hot path (TouchRun, TouchBatch) tallies accesses here instead of
+// bumping the shared counters per access, and FlushTally folds a whole
+// chunk's deltas into the cache-wide totals and a job's Counters with one
+// atomic add per counter. A Tally must not be shared between goroutines
+// without external synchronization.
 type Tally struct {
 	Hits   uint64
 	Misses uint64
@@ -130,53 +222,68 @@ func (t *Tally) Add(other Tally) {
 	t.Misses += other.Misses
 }
 
+// touchLocked performs one access to the line with the given tag on a set
+// whose lock is held, returning whether it missed. Hits and fills move the
+// way to slot 0 (MRU-first ordering), so repeated lines resolve on the first
+// probe.
+func (s *cacheSet) touchLocked(tag uint64, ways int) bool {
+	s.tick++
+	tick := s.tick
+	if s.w0.tag == tag {
+		s.w0.clock = tick
+		return false
+	}
+	n := ways - 1
+	for w := 0; w < n; w++ {
+		if s.tags[w] == tag {
+			s.tags[w], s.clks[w] = s.w0.tag, s.w0.clock
+			s.w0 = cacheWay{tag: tag, clock: tick}
+			return false
+		}
+	}
+	victim := -1
+	oldest := s.w0.clock
+	for w := 0; w < n; w++ {
+		if s.clks[w] < oldest {
+			oldest = s.clks[w]
+			victim = w
+		}
+	}
+	if victim >= 0 {
+		s.tags[victim], s.clks[victim] = s.w0.tag, s.w0.clock
+	}
+	s.w0 = cacheWay{tag: tag, clock: tick}
+	return true
+}
+
 // Touch simulates a load of one cache line containing addr, updating ctr (if
 // non-nil) and the cache-wide counters. It reports whether the access missed.
 func (c *Cache) Touch(addr uint64, ctr *Counters) bool {
 	line := addr / LineSize
-	set := &c.sets[line&(c.numSets-1)]
+	setIdx := line & (c.numSets - 1)
+	set := &c.sets[setIdx]
 	tag := line>>c.setShift + 1 // +1 so that 0 marks an empty way
 
-	set.mu.Lock()
-	set.tick++
-	tick := set.tick
-	for w, t := range set.tags {
-		if t == tag {
-			set.clock[w] = tick
-			set.mu.Unlock()
-			c.totalHits.Add(1)
-			if ctr != nil {
-				ctr.Hits.Add(1)
-				ctr.Instructions.Add(1)
-			}
-			return false
-		}
-	}
-	victim := set.evictLocked()
-	set.tags[victim] = tag
-	set.clock[victim] = tick
-	set.mu.Unlock()
+	l := c.lockOf(setIdx)
+	l.acquire()
+	miss := set.touchLocked(tag, c.ways)
+	l.release()
 
-	c.totalMisses.Add(1)
+	shard := &c.shards[setIdx&(tallyShards-1)]
+	if miss {
+		shard.misses.Add(1)
+	} else {
+		shard.hits.Add(1)
+	}
 	if ctr != nil {
-		ctr.Misses.Add(1)
+		if miss {
+			ctr.Misses.Add(1)
+		} else {
+			ctr.Hits.Add(1)
+		}
 		ctr.Instructions.Add(1)
 	}
-	return true
-}
-
-// evictLocked picks the LRU way. Split out of the tag scan so the common
-// case (a hit) never pays the clock comparisons.
-func (s *cacheSet) evictLocked() int {
-	victim := 0
-	oldest := s.clock[0]
-	for w := 1; w < len(s.clock); w++ {
-		if s.clock[w] < oldest {
-			oldest = s.clock[w]
-			victim = w
-		}
-	}
-	return victim
+	return miss
 }
 
 // TouchRun simulates n >= 1 back-to-back loads of the single cache line
@@ -190,7 +297,7 @@ func (s *cacheSet) evictLocked() int {
 // equivalence property test and the scenario harness's sim-counter
 // invariant.
 //
-// Counts accumulate into t without touching the shared atomics; callers
+// Counts accumulate into t without touching the shared counters; callers
 // flush them in batch with FlushTally. TouchRun reports whether the first
 // access missed.
 func (c *Cache) TouchRun(addr, n uint64, t *Tally) bool {
@@ -198,40 +305,472 @@ func (c *Cache) TouchRun(addr, n uint64, t *Tally) bool {
 		return false
 	}
 	line := addr / LineSize
-	set := &c.sets[line&(c.numSets-1)]
+	setIdx := line & (c.numSets - 1)
+	set := &c.sets[setIdx]
 	tag := line>>c.setShift + 1
 
-	set.mu.Lock()
-	set.tick += n
-	tick := set.tick
-	for w, tg := range set.tags {
-		if tg == tag {
-			set.clock[w] = tick
-			set.mu.Unlock()
-			t.Hits += n
-			return false
+	l := c.lockOf(setIdx)
+	l.acquire()
+	set.tick += n - 1
+	miss := set.touchLocked(tag, c.ways)
+	l.release()
+
+	if miss {
+		t.Misses++
+		t.Hits += n - 1
+	} else {
+		t.Hits += n
+	}
+	return miss
+}
+
+// ScanChunk prices the stream phase of one chunk: nEdges records of
+// edgeSize bytes stored contiguously from baseAddr + firstEdge*edgeSize,
+// walked in storage order one 64B line-run at a time — exactly the sequence
+// of TouchRun calls the engine used to issue per line, fused so consecutive
+// lines (hence consecutive sets) sharing a lock shard are priced under one
+// acquisition instead of one per line.
+func (c *Cache) ScanChunk(baseAddr uint64, firstEdge, nEdges int, edgeSize uint64, t *Tally) {
+	if nEdges <= 0 {
+		return
+	}
+	mask := c.numSets - 1
+	var hits, misses uint64
+	var cur *lockShard
+	for i := 0; i < nEdges; {
+		addr := baseAddr + uint64(firstEdge+i)*edgeSize
+		line := addr / LineSize
+		run := i + int(((line+1)*LineSize-addr+edgeSize-1)/edgeSize)
+		if run > nEdges {
+			run = nEdges
+		}
+		setIdx := line & mask
+		if sh := c.lockOf(setIdx); sh != cur {
+			if cur != nil {
+				cur.release()
+			}
+			cur = sh
+			cur.acquire()
+		}
+		set := &c.sets[setIdx]
+		tag := line>>c.setShift + 1
+		tick := set.tick + uint64(run-i)
+		if set.w0.tag == tag {
+			// MRU hit on the first probe — the overwhelmingly common case
+			// once a chunk's lines are warm — inlined to skip the call.
+			set.tick = tick
+			set.w0.clock = tick
+			hits += uint64(run - i)
+		} else {
+			set.tick = tick - 1
+			if set.touchLocked(tag, c.ways) {
+				misses++
+				hits += uint64(run-i) - 1
+			} else {
+				hits += uint64(run - i)
+			}
+		}
+		i = run
+	}
+	if cur != nil {
+		cur.release()
+	}
+	t.Hits += hits
+	t.Misses += misses
+}
+
+// BatchScratch holds the reusable grouping buffers TouchBatch needs. One
+// scratch serves one streaming goroutine (the engine keeps one per job —
+// only one chunk of a job is ever in flight); buffers grow to the high-water
+// mark once and are reused, so steady-state batch accounting allocates
+// nothing.
+type BatchScratch struct {
+	counts   []uint32     // per cache set: access count, then scatter cursor; all-zero between calls
+	touched  []uint32     // distinct set indices in first-touch order
+	grouped  []uint64     // addrs reordered set-major
+	egrouped []BatchEntry // entries reordered set-major (TouchEntries)
+}
+
+// BatchEntry aggregates one distinct line's accesses within a batch: how
+// many raw accesses hit the line, and the batch-global positions (0-based)
+// of the first and the last. A caller that already walks its access stream
+// (the engine's chunk-apply does, to collect addresses) can dedup into
+// entries on the fly and hand TouchEntries ~8x fewer elements than the raw
+// stream — the hub-vertex skew of power-law graphs concentrates a chunk's
+// state accesses onto few lines.
+type BatchEntry struct {
+	Line  uint64 // line number, addr / LineSize
+	Count uint32 // raw accesses to the line in this batch
+	First uint32 // batch-global position of the first access
+	Last  uint32 // batch-global position of the last access
+}
+
+// TouchBatch simulates the access sequence addrs — arbitrary lines, in
+// program order — applying it set-major: addrs are grouped by cache set
+// (groups in first-touch order, each set's own accesses kept in program
+// order) and each group is resolved under a single set-lock acquisition.
+//
+// Because each set's automaton consumes only its own subsequence, which the
+// grouping preserves, every access's hit/miss outcome and every set's final
+// LRU state are bit-identical to touching addrs one by one in program order
+// (TestTouchBatchEquivalence proves it). What changes is purely the lock
+// economy: one acquisition per (batch, set) instead of one per access — the
+// chunk-apply hot path measures ~17 state accesses per group on the skewed
+// power-law workloads, so the per-access synchronization cost all but
+// vanishes.
+//
+// Counts accumulate into t; callers flush them with FlushTally.
+func (c *Cache) TouchBatch(addrs []uint64, sc *BatchScratch, t *Tally) {
+	if len(addrs) == 0 {
+		return
+	}
+	mask := c.numSets - 1
+	if uint64(len(sc.counts)) < c.numSets {
+		sc.counts = make([]uint32, c.numSets)
+	}
+	counts := sc.counts
+	touched := sc.touched[:0]
+	for _, a := range addrs {
+		s := uint32((a / LineSize) & mask)
+		if counts[s] == 0 {
+			touched = append(touched, s)
+		}
+		counts[s]++
+	}
+	if cap(sc.grouped) < len(addrs) {
+		sc.grouped = make([]uint64, len(addrs))
+	}
+	grouped := sc.grouped[:len(addrs)]
+	// Prefix sums over the touched sets turn counts into scatter cursors;
+	// groups are laid out contiguously in first-touch order.
+	off := uint32(0)
+	for _, s := range touched {
+		n := counts[s]
+		counts[s] = off
+		off += n
+	}
+	for _, a := range addrs {
+		s := uint32((a / LineSize) & mask)
+		grouped[counts[s]] = a
+		counts[s]++
+	}
+	var hits, misses uint64
+	start := uint32(0)
+	for _, si := range touched {
+		end := counts[si]
+		counts[si] = 0 // restore the all-zero invariant for the next batch
+		set := &c.sets[si]
+		l := c.lockOf(uint64(si))
+		l.acquire()
+		h, m := c.applyGroupLocked(set, grouped[start:end])
+		l.release()
+		hits += h
+		misses += m
+		start = end
+	}
+	sc.touched = touched
+	t.Hits += hits
+	t.Misses += misses
+}
+
+// applyGroupLocked replays one set's group of accesses (lock held) with an
+// exact shortcut: every access in the group carries a strictly newer clock
+// than anything resident before the group started, so the min-clock victim
+// of any in-group miss is never a line the group has already touched — as
+// long as the group's distinct lines fit the set's ways. Repeats of an
+// already-touched line are therefore guaranteed hits and need no tag scan;
+// each distinct line costs exactly one touchLocked at its first occurrence.
+// At group end, repeated lines' clocks are patched to their last-occurrence
+// tick — exactly where per-access simulation would leave them (intermediate
+// clock values are unobservable: group lines are never victim candidates
+// mid-group, and the lock is held throughout). In the rare case of more
+// distinct lines than ways — where an already-touched line can become the
+// oldest again — the shortcut stops and the tail is replayed per access
+// after patching, which restores exact per-access state first.
+func (c *Cache) applyGroupLocked(set *cacheSet, group []uint64) (hits, misses uint64) {
+	base := set.tick
+	var dTags [MaxWays]uint64
+	var dFirst, dLast [MaxWays]uint32
+	nd := 0
+	i := 0
+	for ; i < len(group); i++ {
+		tag := (group[i]/LineSize)>>c.setShift + 1
+		k := 0
+		for k < nd && dTags[k] != tag {
+			k++
+		}
+		if k < nd {
+			hits++
+			dLast[k] = uint32(i)
+			continue
+		}
+		if nd == c.ways {
+			break
+		}
+		dTags[nd] = tag
+		dFirst[nd] = uint32(i)
+		dLast[nd] = uint32(i)
+		nd++
+		set.tick = base + uint64(i)
+		if set.touchLocked(tag, c.ways) {
+			misses++
+		} else {
+			hits++
 		}
 	}
-	victim := set.evictLocked()
-	set.tags[victim] = tag
-	set.clock[victim] = tick
-	set.mu.Unlock()
+	for k := 0; k < nd; k++ {
+		if dLast[k] == dFirst[k] {
+			continue
+		}
+		if set.w0.tag == dTags[k] {
+			set.w0.clock = base + uint64(dLast[k]) + 1
+			continue
+		}
+		for w := 0; w < c.ways-1; w++ {
+			if set.tags[w] == dTags[k] {
+				set.clks[w] = base + uint64(dLast[k]) + 1
+				break
+			}
+		}
+	}
+	if i == len(group) {
+		set.tick = base + uint64(len(group))
+		return hits, misses
+	}
+	set.tick = base + uint64(i)
+	for ; i < len(group); i++ {
+		if set.touchLocked((group[i]/LineSize)>>c.setShift+1, c.ways) {
+			misses++
+		} else {
+			hits++
+		}
+	}
+	return hits, misses
+}
 
-	t.Misses++
-	t.Hits += n - 1
+// GroupedEntries is a set-major grouping of per-line aggregates, precomputed
+// once by GroupEntries and re-applied every iteration via TouchGrouped. The
+// grouping is a pure function of the entry list, so a chunk that is re-applied
+// with the same aggregates (full-active programs re-visiting an immutable
+// chunk) can skip the per-call counting sort entirely.
+type GroupedEntries struct {
+	Sets []uint32     // distinct set indices, in group order
+	Ends []uint32     // Eg[Ends[i-1]:Ends[i]] is set Sets[i]'s group (Ends[-1] = 0)
+	Eg   []BatchEntry // entries scattered set-major, append order within a set
+}
+
+// GroupEntries precomputes the set-major grouping that TouchEntries derives
+// per call, returning freshly allocated slices safe to retain. It reports
+// ok=false — and derives nothing — when any set's distinct lines exceed the
+// cache's ways, exactly the condition under which TouchEntries would refuse
+// the batch.
+func (c *Cache) GroupEntries(entries []BatchEntry, sc *BatchScratch) (GroupedEntries, bool) {
+	var g GroupedEntries
+	if len(entries) == 0 {
+		return g, true
+	}
+	mask := c.numSets - 1
+	if uint64(len(sc.counts)) < c.numSets {
+		sc.counts = make([]uint32, c.numSets)
+	}
+	counts := sc.counts
+	touched := sc.touched[:0]
+	overflow := false
+	for i := range entries {
+		s := uint32(entries[i].Line & mask)
+		if counts[s] == 0 {
+			touched = append(touched, s)
+		}
+		counts[s]++
+		if counts[s] > uint32(c.ways) {
+			overflow = true
+		}
+	}
+	sc.touched = touched
+	if overflow {
+		for _, s := range touched {
+			counts[s] = 0
+		}
+		return g, false
+	}
+	g.Sets = append([]uint32(nil), touched...)
+	g.Ends = make([]uint32, len(touched))
+	g.Eg = make([]BatchEntry, len(entries))
+	off := uint32(0)
+	for i, s := range touched {
+		n := counts[s]
+		counts[s] = off
+		off += n
+		g.Ends[i] = off
+	}
+	for _, e := range entries {
+		s := uint32(e.Line & mask)
+		g.Eg[counts[s]] = e
+		counts[s]++
+	}
+	for _, s := range touched {
+		counts[s] = 0
+	}
+	return g, true
+}
+
+// TouchGrouped settles a pre-grouped state phase: observably identical to
+// TouchEntries over the ungrouped entry list (same locks, same per-set clock
+// arithmetic), minus the grouping passes.
+func (c *Cache) TouchGrouped(g *GroupedEntries, phaseLen uint64, t *Tally) {
+	var hits, misses uint64
+	start := uint32(0)
+	for i, si := range g.Sets {
+		end := g.Ends[i]
+		set := &c.sets[si]
+		l := c.lockOf(uint64(si))
+		l.acquire()
+		base := set.tick
+		for _, e := range g.Eg[start:end] {
+			tag := e.Line>>c.setShift + 1
+			if set.w0.tag == tag {
+				// MRU hit: the clock write below is the only observable
+				// effect (tick is rewritten before the next probe), so the
+				// call is skipped entirely.
+				set.w0.clock = base + uint64(e.Last) + 1
+				hits += uint64(e.Count)
+				continue
+			}
+			set.tick = base + uint64(e.First)
+			if set.touchLocked(tag, c.ways) {
+				misses++
+			} else {
+				hits++
+			}
+			set.w0.clock = base + uint64(e.Last) + 1
+			hits += uint64(e.Count - 1)
+		}
+		set.tick = base + phaseLen
+		l.release()
+		start = end
+	}
+	t.Hits += hits
+	t.Misses += misses
+}
+
+// TouchEntries prices a batch given per-line aggregates instead of the raw
+// access stream, in one pass over ~count-of-distinct-lines elements. It is
+// observably identical to TouchBatch over the raw stream the entries
+// summarize, by the same argument applyGroupLocked uses: while a set-group's
+// distinct lines fit the ways, an already-touched line always carries a
+// strictly newer clock than anything resident before the group, so it can
+// never be the min-clock victim of a later in-group miss — every repeat is
+// a guaranteed hit, and only each line's first access needs simulating.
+// Entry clocks are written from batch-global positions rather than per-set
+// sequence numbers; that yields different clock values than per-access
+// simulation but the same strict order within every set (a subsequence
+// inherits the global order), and clocks are only ever compared within a
+// set, so every future victim choice — and therefore every observable
+// hit/miss — is unchanged. phaseLen (the raw stream's length) bounds every
+// written clock and advances each touched set's tick past it, keeping ticks
+// monotone for later accesses.
+//
+// If any set-group's distinct lines exceed the ways — where an in-group
+// line could age back into victimhood and repeats are no longer guaranteed
+// hits — the aggregates are insufficient and TouchEntries returns false
+// WITHOUT touching any cache state (grouping is pure); the caller falls
+// back to the raw-stream TouchBatch path. With realistic geometries this is
+// vanishingly rare: it needs >ways distinct lines of one set in one chunk.
+func (c *Cache) TouchEntries(entries []BatchEntry, phaseLen uint64, sc *BatchScratch, t *Tally) bool {
+	if len(entries) == 0 {
+		return true
+	}
+	mask := c.numSets - 1
+	if uint64(len(sc.counts)) < c.numSets {
+		sc.counts = make([]uint32, c.numSets)
+	}
+	counts := sc.counts
+	touched := sc.touched[:0]
+	overflow := false
+	for i := range entries {
+		s := uint32(entries[i].Line & mask)
+		if counts[s] == 0 {
+			touched = append(touched, s)
+		}
+		counts[s]++
+		if counts[s] > uint32(c.ways) {
+			overflow = true
+		}
+	}
+	sc.touched = touched
+	if overflow {
+		for _, s := range touched {
+			counts[s] = 0
+		}
+		return false
+	}
+	if cap(sc.egrouped) < len(entries) {
+		sc.egrouped = make([]BatchEntry, len(entries))
+	}
+	eg := sc.egrouped[:len(entries)]
+	off := uint32(0)
+	for _, s := range touched {
+		n := counts[s]
+		counts[s] = off
+		off += n
+	}
+	for _, e := range entries {
+		s := uint32(e.Line & mask)
+		eg[counts[s]] = e
+		counts[s]++
+	}
+	var hits, misses uint64
+	start := uint32(0)
+	for _, si := range touched {
+		end := counts[si]
+		counts[si] = 0 // restore the all-zero invariant for the next batch
+		set := &c.sets[si]
+		l := c.lockOf(uint64(si))
+		l.acquire()
+		base := set.tick
+		for _, e := range eg[start:end] {
+			// Entries sit in first-occurrence order (grouping preserves
+			// append order); simulate the first access, then credit the
+			// repeats as hits and stamp the line's clock with its last
+			// occurrence — touchLocked left the line at way 0. An MRU hit
+			// is inlined: the clock write is its only observable effect.
+			tag := e.Line>>c.setShift + 1
+			if set.w0.tag == tag {
+				set.w0.clock = base + uint64(e.Last) + 1
+				hits += uint64(e.Count)
+				continue
+			}
+			set.tick = base + uint64(e.First)
+			if set.touchLocked(tag, c.ways) {
+				misses++
+			} else {
+				hits++
+			}
+			set.w0.clock = base + uint64(e.Last) + 1
+			hits += uint64(e.Count - 1)
+		}
+		set.tick = base + phaseLen
+		l.release()
+		start = end
+	}
+	t.Hits += hits
+	t.Misses += misses
 	return true
 }
 
 // FlushTally folds a batch of tallied accesses into the cache-wide totals
 // and into ctr (if non-nil), with one atomic add per counter — the batched
 // equivalent of the per-access updates Touch performs. The hot path calls it
-// once per applied chunk.
-func (c *Cache) FlushTally(t Tally, ctr *Counters) {
+// once per applied chunk. shard picks the slot of the sharded cache-wide
+// totals (callers pass a stable per-job or per-worker value, e.g. the job
+// ID); it only spreads contention — any shard sums into the same totals.
+func (c *Cache) FlushTally(t Tally, ctr *Counters, shard int) {
+	sh := &c.shards[uint64(shard)&(tallyShards-1)]
 	if t.Hits != 0 {
-		c.totalHits.Add(t.Hits)
+		sh.hits.Add(t.Hits)
 	}
 	if t.Misses != 0 {
-		c.totalMisses.Add(t.Misses)
+		sh.misses.Add(t.Misses)
 	}
 	if ctr == nil {
 		return
@@ -264,12 +803,25 @@ func (c *Cache) TouchRange(addr, n uint64, ctr *Counters) int {
 	return misses
 }
 
-// TotalMisses returns the cache-wide miss count. Multiplying by LineSize
-// gives the volume of data swapped into the LLC (Figure 14).
-func (c *Cache) TotalMisses() uint64 { return c.totalMisses.Load() }
+// TotalMisses returns the cache-wide miss count, summed over the tally
+// shards. Multiplying by LineSize gives the volume of data swapped into the
+// LLC (Figure 14).
+func (c *Cache) TotalMisses() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].misses.Load()
+	}
+	return n
+}
 
-// TotalHits returns the cache-wide hit count.
-func (c *Cache) TotalHits() uint64 { return c.totalHits.Load() }
+// TotalHits returns the cache-wide hit count, summed over the tally shards.
+func (c *Cache) TotalHits() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].hits.Load()
+	}
+	return n
+}
 
 // SwappedBytes returns the total bytes loaded into the cache.
 func (c *Cache) SwappedBytes() uint64 { return c.TotalMisses() * LineSize }
@@ -286,13 +838,10 @@ func (c *Cache) MissRate() float64 {
 // Reset clears contents and counters. Not safe concurrently with Touch.
 func (c *Cache) Reset() {
 	for i := range c.sets {
-		s := &c.sets[i]
-		for w := range s.tags {
-			s.tags[w] = 0
-			s.clock[w] = 0
-		}
-		s.tick = 0
+		c.sets[i] = cacheSet{}
 	}
-	c.totalHits.Store(0)
-	c.totalMisses.Store(0)
+	for i := range c.shards {
+		c.shards[i].hits.Store(0)
+		c.shards[i].misses.Store(0)
+	}
 }

@@ -1,0 +1,171 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// dedupEntries folds a raw access stream into per-line aggregates the way
+// the engine's collection loop does: one BatchEntry per distinct line with
+// its access count and first/last batch-global positions.
+func dedupEntries(addrs []uint64) []BatchEntry {
+	idx := map[uint64]int{}
+	var entries []BatchEntry
+	for i, a := range addrs {
+		line := a / LineSize
+		if k, ok := idx[line]; ok {
+			entries[k].Count++
+			entries[k].Last = uint32(i)
+			continue
+		}
+		idx[line] = len(entries)
+		entries = append(entries, BatchEntry{Line: line, Count: 1, First: uint32(i), Last: uint32(i)})
+	}
+	return entries
+}
+
+// TestTouchEntriesEquivalence is the property the aggregate state phase
+// rests on: pricing a batch from per-line aggregates (TouchEntries), or
+// from the same aggregates grouped once and replayed (GroupEntries +
+// TouchGrouped), is observably equivalent to touching the raw addresses one
+// by one in program order — same counters, same final LRU behavior. When a
+// set-group's distinct lines exceed the ways, TouchEntries must refuse
+// without mutating anything and GroupEntries must refuse identically, so
+// the twin stays in sync by applying the raw batch instead.
+func TestTouchEntriesEquivalence(t *testing.T) {
+	cfg := Config{SizeBytes: 4 << 10, Ways: 4} // 16 sets: conflicts are common
+	f := func(seed int64, batchSizes []uint8) bool {
+		if len(batchSizes) == 0 {
+			return true
+		}
+		inOrder, err := NewCache(cfg)
+		if err != nil {
+			return false
+		}
+		entried, _ := NewCache(cfg)
+		grouped, _ := NewCache(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		var inCtr, entCtr, grpCtr Counters
+		var entTally, grpTally Tally
+		var entSc, grpSc BatchScratch
+		for _, bs := range batchSizes {
+			n := int(bs%97) + 1
+			addrs := make([]uint64, n)
+			for i := range addrs {
+				// Zipf-ish skew plus enough spread that some batches carry
+				// more distinct lines per set than the cache has ways,
+				// exercising the refusal path.
+				if rng.Intn(3) == 0 {
+					addrs[i] = uint64(rng.Intn(8)) * LineSize
+				} else {
+					addrs[i] = uint64(rng.Intn(1 << 14))
+				}
+			}
+			for _, a := range addrs {
+				inOrder.Touch(a, &inCtr)
+			}
+			entries := dedupEntries(addrs)
+			if !entried.TouchEntries(entries, uint64(n), &entSc, &entTally) {
+				entried.TouchBatch(addrs, &entSc, &entTally)
+			}
+			if g, ok := grouped.GroupEntries(entries, &grpSc); ok {
+				grouped.TouchGrouped(&g, uint64(n), &grpTally)
+			} else {
+				grouped.TouchBatch(addrs, &grpSc, &grpTally)
+			}
+		}
+		entried.FlushTally(entTally, &entCtr, 0)
+		grouped.FlushTally(grpTally, &grpCtr, 0)
+		for _, ctr := range []*Counters{&entCtr, &grpCtr} {
+			if inCtr.Hits.Load() != ctr.Hits.Load() ||
+				inCtr.Misses.Load() != ctr.Misses.Load() ||
+				inCtr.Instructions.Load() != ctr.Instructions.Load() {
+				return false
+			}
+		}
+		if inOrder.TotalHits() != entried.TotalHits() || inOrder.TotalMisses() != entried.TotalMisses() ||
+			inOrder.TotalHits() != grouped.TotalHits() || inOrder.TotalMisses() != grouped.TotalMisses() {
+			return false
+		}
+		// Behavioral LRU probe: any divergence in resident tags or victim
+		// ordering left behind by the replay shows up as a miss mismatch on
+		// a fresh conflicting stream.
+		for i := 0; i < 1024; i++ {
+			addr := uint64(rng.Intn(1 << 14))
+			m := inOrder.Touch(addr, nil)
+			if m != entried.Touch(addr, nil) || m != grouped.Touch(addr, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTouchEntriesOverflowRefusesWithoutMutation pins the refusal contract:
+// a batch with more distinct lines in one set than the cache has ways must
+// return false from both TouchEntries and GroupEntries, count nothing, and
+// leave every set untouched so the caller's raw-stream fallback starts from
+// exact state.
+func TestTouchEntriesOverflowRefusesWithoutMutation(t *testing.T) {
+	cfg := Config{SizeBytes: 4 << 10, Ways: 4} // 16 sets
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, _ := NewCache(cfg)
+	// Warm both caches identically so refusal-after-warmth is covered.
+	for i := 0; i < 64; i++ {
+		addr := uint64(i%11) * 64 * 16 // all in set 0
+		c.Touch(addr, nil)
+		twin.Touch(addr, nil)
+	}
+	// 5 distinct lines of set 0 > 4 ways: must refuse.
+	var entries []BatchEntry
+	for i := 0; i < 5; i++ {
+		entries = append(entries, BatchEntry{Line: uint64(i * 16), Count: 2, First: uint32(2 * i), Last: uint32(2*i + 1)})
+	}
+	var sc BatchScratch
+	var tally Tally
+	if c.TouchEntries(entries, 10, &sc, &tally) {
+		t.Fatal("TouchEntries accepted a set-group wider than the ways")
+	}
+	if _, ok := c.GroupEntries(entries, &sc); ok {
+		t.Fatal("GroupEntries accepted a set-group wider than the ways")
+	}
+	if tally.Accesses() != 0 {
+		t.Fatalf("refused batch still tallied %d accesses", tally.Accesses())
+	}
+	// The refused cache must behave exactly like the untouched twin.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 512; i++ {
+		addr := uint64(rng.Intn(1 << 14))
+		if c.Touch(addr, nil) != twin.Touch(addr, nil) {
+			t.Fatalf("refusal mutated cache state (diverged at probe %d)", i)
+		}
+	}
+}
+
+// TestTouchEntriesEmpty pins the degenerate case.
+func TestTouchEntriesEmpty(t *testing.T) {
+	c, err := NewCache(Config{SizeBytes: 8 << 10, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc BatchScratch
+	var tally Tally
+	if !c.TouchEntries(nil, 0, &sc, &tally) {
+		t.Fatal("empty entry batch refused")
+	}
+	g, ok := c.GroupEntries(nil, &sc)
+	if !ok || len(g.Eg) != 0 {
+		t.Fatal("empty grouping refused or non-empty")
+	}
+	c.TouchGrouped(&g, 0, &tally)
+	if tally.Accesses() != 0 || c.TotalHits()+c.TotalMisses() != 0 {
+		t.Fatalf("empty batches counted accesses: tally=%+v", tally)
+	}
+}

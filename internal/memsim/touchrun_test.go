@@ -44,7 +44,7 @@ func TestTouchRunEquivalentToTouches(t *testing.T) {
 				return false
 			}
 		}
-		batched.FlushTally(tally, &batCtr)
+		batched.FlushTally(tally, &batCtr, 0)
 		if perCtr.Hits.Load() != batCtr.Hits.Load() ||
 			perCtr.Misses.Load() != batCtr.Misses.Load() ||
 			perCtr.Instructions.Load() != batCtr.Instructions.Load() {
@@ -103,7 +103,7 @@ func TestFlushTallyConservation(t *testing.T) {
 		t.Fatalf("tally accesses = %d, want 300", got)
 	}
 	var ctr Counters
-	c.FlushTally(tally, &ctr)
+	c.FlushTally(tally, &ctr, 3)
 	if ctr.Hits.Load() != tally.Hits || ctr.Misses.Load() != tally.Misses {
 		t.Fatalf("ctr %d/%d after flush, want %d/%d",
 			ctr.Hits.Load(), ctr.Misses.Load(), tally.Hits, tally.Misses)
@@ -115,7 +115,7 @@ func TestFlushTallyConservation(t *testing.T) {
 		t.Fatalf("cache totals %d/%d, want %d/%d",
 			c.TotalHits(), c.TotalMisses(), tally.Hits, tally.Misses)
 	}
-	c.FlushTally(Tally{}, nil) // no-op form must not panic or count
+	c.FlushTally(Tally{}, nil, 0) // no-op form must not panic or count
 	if c.TotalHits() != tally.Hits {
 		t.Fatal("empty flush moved the totals")
 	}

@@ -562,6 +562,22 @@ func CheckOutputsEqual(a, b *Result) error {
 	return nil
 }
 
+// vertexSliceEqual compares one per-vertex output slice element-wise.
+// Floating-point outputs go through it too: the contract is bit-identity,
+// not tolerance, because the batched and per-edge paths must perform the
+// same float operations in the same order.
+func vertexSliceEqual[T comparable](what string, a, b []T) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s lengths differ: %d vs %d", what, len(a), len(b))
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			return fmt.Errorf("%s[%d]: %v vs %v (not bit-identical)", what, v, a[v], b[v])
+		}
+	}
+	return nil
+}
+
 func outputsEqual(a, b engine.Program) error {
 	switch pa := a.(type) {
 	case *algorithms.PageRank:
@@ -569,31 +585,47 @@ func outputsEqual(a, b engine.Program) error {
 		if !ok {
 			return fmt.Errorf("program types differ: %T vs %T", a, b)
 		}
-		ra, rb := pa.Ranks(), pb.Ranks()
-		if len(ra) != len(rb) {
-			return fmt.Errorf("rank lengths differ: %d vs %d", len(ra), len(rb))
+		return vertexSliceEqual("rank", pa.Ranks(), pb.Ranks())
+	case *algorithms.PersonalizedPageRank:
+		pb, ok := b.(*algorithms.PersonalizedPageRank)
+		if !ok {
+			return fmt.Errorf("program types differ: %T vs %T", a, b)
 		}
-		for v := range ra {
-			if ra[v] != rb[v] {
-				return fmt.Errorf("rank[%d]: %v vs %v (not bit-identical)", v, ra[v], rb[v])
-			}
-		}
+		return vertexSliceEqual("ppr rank", pa.Ranks(), pb.Ranks())
 	case *algorithms.WCC:
 		pb, ok := b.(*algorithms.WCC)
 		if !ok {
 			return fmt.Errorf("program types differ: %T vs %T", a, b)
 		}
-		la, lb := pa.Labels(), pb.Labels()
-		if len(la) != len(lb) {
-			return fmt.Errorf("label lengths differ: %d vs %d", len(la), len(lb))
+		return vertexSliceEqual("label", pa.Labels(), pb.Labels())
+	case *algorithms.LabelPropagation:
+		pb, ok := b.(*algorithms.LabelPropagation)
+		if !ok {
+			return fmt.Errorf("program types differ: %T vs %T", a, b)
 		}
-		for v := range la {
-			if la[v] != lb[v] {
-				return fmt.Errorf("label[%d]: %d vs %d", v, la[v], lb[v])
-			}
+		return vertexSliceEqual("label", pa.Labels(), pb.Labels())
+	case *algorithms.BFS:
+		pb, ok := b.(*algorithms.BFS)
+		if !ok {
+			return fmt.Errorf("program types differ: %T vs %T", a, b)
 		}
+		return vertexSliceEqual("dist", pa.Dist(), pb.Dist())
+	case *algorithms.SSSP:
+		pb, ok := b.(*algorithms.SSSP)
+		if !ok {
+			return fmt.Errorf("program types differ: %T vs %T", a, b)
+		}
+		return vertexSliceEqual("dist", pa.Dist(), pb.Dist())
+	case *algorithms.KCore:
+		pb, ok := b.(*algorithms.KCore)
+		if !ok {
+			return fmt.Errorf("program types differ: %T vs %T", a, b)
+		}
+		if pa.CoreSize() != pb.CoreSize() {
+			return fmt.Errorf("core sizes differ: %d vs %d", pa.CoreSize(), pb.CoreSize())
+		}
+		return vertexSliceEqual("removed", pa.Removed(), pb.Removed())
 	default:
 		return fmt.Errorf("no output comparison for program type %T", a)
 	}
-	return nil
 }

@@ -152,14 +152,19 @@ func TestScenarioDeterministicRepeat(t *testing.T) {
 // LLC access schedule is fully deterministic — the batched run-length hot
 // path and the per-edge reference model must count every hit and miss
 // identically, price identical simulated time, do identical work, and
-// produce bit-identical outputs. Run for both a BatchProgram algorithm
-// (PageRank, which also exercises ProcessEdges) and a frontier algorithm
-// (BFS via the rotation seed — inactive-source runs dominate).
+// produce bit-identical outputs. Run for every fallback algorithm: the
+// full-active ones (PageRank, PPR, WCC, label propagation, k-core) exercise
+// the memoised set-grouped state path, the frontier ones (BFS, SSSP) the
+// gated sparse path — inactive-source runs dominate there.
 func TestScenarioSimEqualPerEdgeVsRunLength(t *testing.T) {
 	progs := map[string]func() engine.Program{
-		"pagerank": func() engine.Program { return algorithms.NewPageRank(0.85, 5) },
-		"wcc":      func() engine.Program { return algorithms.NewWCC(6) },
-		"bfs":      func() engine.Program { return algorithms.NewBFS(1) },
+		"pagerank":  func() engine.Program { return algorithms.NewPageRank(0.85, 5) },
+		"ppr":       func() engine.Program { return algorithms.NewPersonalizedPageRank(1, 0.85, 5) },
+		"wcc":       func() engine.Program { return algorithms.NewWCC(6) },
+		"labelprop": func() engine.Program { return algorithms.NewLabelPropagation(5) },
+		"kcore":     func() engine.Program { return algorithms.NewKCore(3) },
+		"bfs":       func() engine.Program { return algorithms.NewBFS(1) },
+		"sssp":      func() engine.Program { return algorithms.NewSSSP(1) },
 	}
 	for name, mk := range progs {
 		t.Run(name, func(t *testing.T) {
@@ -188,10 +193,8 @@ func TestScenarioSimEqualPerEdgeVsRunLength(t *testing.T) {
 			if err := scenario.CheckWorkEqual(batched, perEdge); err != nil {
 				t.Fatal(err)
 			}
-			if name != "bfs" { // outputsEqual supports PageRank and WCC
-				if err := scenario.CheckOutputsEqual(batched, perEdge); err != nil {
-					t.Fatal(err)
-				}
+			if err := scenario.CheckOutputsEqual(batched, perEdge); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}
