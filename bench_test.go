@@ -55,6 +55,12 @@ func BenchmarkParallelExecutor(b *testing.B) { runExperiment(b, "parallel", 8) }
 // outputs.
 func BenchmarkAdaptive(b *testing.B) { runExperiment(b, "adaptive", 14) }
 
+// BenchmarkDurability runs the durable-storage experiment: WAL overhead on
+// serial evolve ops, group-commit fsync coalescing under concurrent
+// writers, and the checkpoint compression ratio plus a crash-recovery
+// differential.
+func BenchmarkDurability(b *testing.B) { runExperiment(b, "durability", 8) }
+
 // BenchmarkFig02Trace regenerates Figure 2 (the week-long job trace).
 func BenchmarkFig02Trace(b *testing.B) { runExperiment(b, "fig2", 16) }
 

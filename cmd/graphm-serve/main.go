@@ -69,10 +69,16 @@ func main() {
 		rateLimit = flag.Float64("rate-limit", 0, "daemon mode: per-tenant submission rate limit, jobs/s (0 = unlimited)")
 		burst     = flag.Float64("burst", 0, "daemon mode: rate-limit burst size (0 = rate-limit rounded up)")
 		sloWindow = flag.Duration("slo-window", 5*time.Minute, "daemon mode: rolling SLO window span exported by /metrics")
+		dataDir   = flag.String("data-dir", "", "daemon mode: durable storage directory (WAL + checkpoints + ticket log); empty = in-memory only")
+		ckEvery   = flag.Int("checkpoint-every", 0, "daemon mode: write a checkpoint every N WAL records (0 = default 256, negative = never)")
+		noFsync   = flag.Bool("no-fsync", false, "daemon mode: skip fsync on the WAL and ticket log (faster, loses the power-failure guarantee)")
 	)
 	flag.Parse()
 	if *listen == "" && (*nJobs <= 0 || *rate <= 0 || *tenants <= 0) {
 		fatal(fmt.Errorf("jobs, rate and tenants must be positive"))
+	}
+	if *dataDir != "" && *listen == "" {
+		fatal(fmt.Errorf("-data-dir requires daemon mode (-listen)"))
 	}
 	stop, err := profiles.Start(*cpuPro, *memPro)
 	if err != nil {
@@ -109,11 +115,23 @@ func main() {
 		env.Spec.Name, env.Spec.NumV, env.Spec.NumE, env.GridP, env.GridP)
 
 	if *listen != "" {
+		var store *storage.Store
+		var recovery *storage.Recovery
+		if *dataDir != "" {
+			store, recovery, err = storage.Open(*dataDir, storage.StoreOptions{
+				NoSync:                 *noFsync,
+				CheckpointEveryRecords: *ckEvery,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			svcCfg.TicketLog = store
+		}
 		runDaemon(sys, svcCfg, server.Config{
 			RatePerSec: *rateLimit,
 			Burst:      *burst,
 			SLOWindow:  *sloWindow,
-		}, *listen)
+		}, *listen, store, recovery)
 		return
 	}
 
@@ -189,9 +207,24 @@ func main() {
 // runDaemon serves the HTTP/JSON API on addr until SIGTERM or SIGINT, then
 // drains in-flight work, shuts the listener down, and prints the final
 // recovery state as JSON. The process exits 0 when every admitted job
-// terminated cleanly.
-func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr string) {
+// terminated cleanly. With a store, startup first replays the directory
+// (checkpoint + WAL + pending-ticket re-admission), and a housekeeping loop
+// writes checkpoints as the record cadence comes due.
+func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr string, store *storage.Store, recovery *storage.Recovery) {
 	srv := server.New(sys, svcCfg, cfg)
+	if store != nil {
+		if recovery.HasCheckpoint || recovery.WALRecords > 0 || recovery.Counts.Submitted > 0 {
+			rec, err := srv.Restore(store, recovery)
+			if err != nil {
+				fatal(fmt.Errorf("recovery from %s: %w", store.Dir(), err))
+			}
+			fmt.Printf("recovered %s: checkpoint v%d + %d WAL records, %d tickets resumed (%d unresumable)\n",
+				store.Dir(), rec.CheckpointVersion, rec.WALRecords, rec.ResumedTickets, rec.FailedTickets)
+		} else {
+			srv.AttachStore(store)
+			fmt.Printf("durable storage at %s (fresh directory)\n", store.Dir())
+		}
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
 	fmt.Printf("daemon listening on %s (max in-flight %d, SLO window %v); SIGTERM drains\n",
@@ -199,6 +232,27 @@ func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr 
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	// Housekeeping: fold the WAL into a checkpoint whenever the record
+	// cadence comes due, so recovery replay stays short and old segments
+	// are garbage-collected.
+	ckStop := make(chan struct{})
+	if store != nil {
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckStop:
+					return
+				case <-tick.C:
+					if _, err := srv.MaybeCheckpoint(false); err != nil {
+						fmt.Fprintf(os.Stderr, "graphm-serve: checkpoint: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
@@ -208,15 +262,21 @@ func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr 
 	case err := <-errc:
 		fatal(err)
 	}
+	close(ckStop)
 
 	// Stop admitting and run every queued and in-flight ticket down before
 	// closing the listener, so clients can still poll tickets and scrape
-	// /metrics while the drain runs.
+	// /metrics while the drain runs. Drain also writes the final checkpoint.
 	st := srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "graphm-serve: shutdown: %v\n", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "graphm-serve: store close: %v\n", err)
+		}
 	}
 
 	out, _ := json.MarshalIndent(st, "", "  ")

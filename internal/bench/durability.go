@@ -1,0 +1,500 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/graph"
+	"graphm/internal/scenario"
+	"graphm/internal/storage"
+)
+
+// Durability-experiment geometry. The graph is small enough that one evolve
+// op's in-memory work is on the order of the WAL bookkeeping it triggers —
+// the honest worst case for measuring logging overhead (on paper-scale
+// graphs the chunk rewrite dwarfs the append).
+const (
+	durNumV  = 512
+	durNumE  = 20_000
+	durGridP = 4
+	durSeed  = 21
+	durLLC   = 64 << 10
+	durMem   = 2 << 20
+
+	// The serial workload: durOpCount evolve ops mixing global adds,
+	// job-private adds and predicate removals, deterministically generated.
+	durOpCount = 192
+	durBatch   = 8
+	// The concurrent workload: durWriters goroutines, durWriterOps adds each,
+	// against a store that really fsyncs — the group-commit case.
+	durWriters   = 8
+	durWriterOps = 24
+	// Tail ops applied after the checkpoint so recovery exercises
+	// checkpoint + WAL replay, not checkpoint alone.
+	durTailOps = 8
+)
+
+// durOp is one scripted evolve operation.
+type durOp struct {
+	kind   int // 0 = AddEdges, 1 = AddEdgesFor, 2 = RemoveEdges
+	edges  []graph.Edge
+	jobID  int
+	target graph.VertexID // RemoveEdges: delete edges with this destination
+}
+
+// durOps generates the deterministic serial workload.
+func durOps() []durOp {
+	rng := rand.New(rand.NewSource(durSeed))
+	batch := func() []graph.Edge {
+		edges := make([]graph.Edge, durBatch)
+		for i := range edges {
+			edges[i] = graph.Edge{
+				Src:    graph.VertexID(rng.Intn(durNumV)),
+				Dst:    graph.VertexID(rng.Intn(durNumV)),
+				Weight: float32(rng.Intn(16)),
+			}
+		}
+		return edges
+	}
+	ops := make([]durOp, 0, durOpCount)
+	for i := 0; i < durOpCount; i++ {
+		switch {
+		case i%16 == 15:
+			ops = append(ops, durOp{kind: 2, target: graph.VertexID(rng.Intn(durNumV))})
+		case i%8 == 3:
+			ops = append(ops, durOp{kind: 1, jobID: 7, edges: batch()})
+		default:
+			ops = append(ops, durOp{kind: 0, edges: batch()})
+		}
+	}
+	return ops
+}
+
+func durApply(sys *core.System, op durOp) error {
+	switch op.kind {
+	case 1:
+		return sys.AddEdgesFor(op.jobID, op.edges)
+	case 2:
+		target := op.target
+		_, _, err := sys.RemoveEdges(func(e graph.Edge) bool { return e.Dst == target })
+		return err
+	default:
+		_, err := sys.AddEdges(op.edges)
+		return err
+	}
+}
+
+// durSys builds a fresh system over the deterministic durability graph.
+func durSys() (*core.System, error) {
+	env, _, err := scenario.GenEnv("durability", durNumV, durNumE, durGridP,
+		durSeed, durLLC, durMem)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystem(env.Layout, env.Mem, env.Cache, core.DefaultConfig(durLLC))
+}
+
+// durSerialRun applies the serial workload once against a fresh system,
+// optionally with a WAL sink, and reports the wall time plus (when logging)
+// the store's WAL statistics.
+func durSerialRun(withWAL, noSync bool) (time.Duration, storage.WALStats, error) {
+	var stats storage.WALStats
+	sys, err := durSys()
+	if err != nil {
+		return 0, stats, err
+	}
+	var st *storage.Store
+	if withWAL {
+		dir, err := os.MkdirTemp("", "graphm-durability-*")
+		if err != nil {
+			return 0, stats, err
+		}
+		defer os.RemoveAll(dir)
+		st, _, err = storage.Open(dir, storage.StoreOptions{NoSync: noSync, CheckpointEveryRecords: -1})
+		if err != nil {
+			return 0, stats, err
+		}
+		defer st.Close()
+		sys.SetEvolveSink(st)
+	}
+	ops := durOps()
+	start := time.Now()
+	for _, op := range ops {
+		if err := durApply(sys, op); err != nil {
+			return 0, stats, err
+		}
+	}
+	wall := time.Since(start)
+	if st != nil {
+		stats = st.WALStats()
+	}
+	return wall, stats, nil
+}
+
+// durBestOf repeats a serial run and keeps the fastest wall time (the later
+// trials' stats are identical by construction — same ops, same store shape).
+func durBestOf(trials int, withWAL, noSync bool) (time.Duration, storage.WALStats, error) {
+	var best time.Duration
+	var stats storage.WALStats
+	for i := 0; i < trials; i++ {
+		wall, s, err := durSerialRun(withWAL, noSync)
+		if err != nil {
+			return 0, stats, err
+		}
+		if i == 0 || wall < best {
+			best, stats = wall, s
+		}
+	}
+	return best, stats, nil
+}
+
+// durConcurrentRun drives durWriters goroutines of AddEdges against a store
+// that really fsyncs. Record order is fixed at append time under the
+// controller lock while commit waits happen outside it, so concurrent
+// writers' records coalesce into shared syncs — the measurement here.
+func durConcurrentRun() (time.Duration, storage.WALStats, error) {
+	var stats storage.WALStats
+	sys, err := durSys()
+	if err != nil {
+		return 0, stats, err
+	}
+	dir, err := os.MkdirTemp("", "graphm-durability-*")
+	if err != nil {
+		return 0, stats, err
+	}
+	defer os.RemoveAll(dir)
+	st, _, err := storage.Open(dir, storage.StoreOptions{CheckpointEveryRecords: -1})
+	if err != nil {
+		return 0, stats, err
+	}
+	defer st.Close()
+	sys.SetEvolveSink(st)
+
+	var wg sync.WaitGroup
+	errs := make([]error, durWriters)
+	start := time.Now()
+	for w := 0; w < durWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(durSeed + int64(w)))
+			for i := 0; i < durWriterOps; i++ {
+				edges := []graph.Edge{{
+					Src:    graph.VertexID(rng.Intn(durNumV)),
+					Dst:    graph.VertexID(rng.Intn(durNumV)),
+					Weight: float32(w),
+				}}
+				if _, err := sys.AddEdges(edges); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, stats, err
+		}
+	}
+	return wall, st.WALStats(), nil
+}
+
+// durWALMicro isolates the group-commit mechanism from the engine: N
+// goroutines append small records directly to a syncing WAL, each waiting
+// for its commit. Appends are near-free, so during any in-flight fsync the
+// other writers' records queue into the next batch — the coalescing ceiling
+// the engine approaches as device sync latency grows relative to op cost.
+func durWALMicro(writers, opsPer int) (time.Duration, storage.WALStats, error) {
+	var stats storage.WALStats
+	dir, err := os.MkdirTemp("", "graphm-durability-*")
+	if err != nil {
+		return 0, stats, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := storage.OpenWAL(dir, false)
+	if err != nil {
+		return 0, stats, err
+	}
+	defer w.Close()
+	payload := make([]byte, 64)
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	start := time.Now()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				commit, err := w.Append(payload)
+				if err == nil {
+					err = commit()
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, stats, err
+		}
+	}
+	return wall, w.Stats(), nil
+}
+
+// durViews concatenates every partition's chunk stream as seen by jobID.
+func durViews(sys *core.System, jobID int) (map[int][]graph.Edge, error) {
+	out := make(map[int][]graph.Edge)
+	for pid := 0; pid < sys.NumPartitions(); pid++ {
+		var stream []graph.Edge
+		for k := 0; k < sys.ChunkCount(pid); k++ {
+			edges, err := sys.ChunkView(jobID, pid, k)
+			if err != nil {
+				return nil, err
+			}
+			stream = append(stream, edges...)
+		}
+		out[pid] = stream
+	}
+	return out, nil
+}
+
+func durViewsEqual(want, got map[int][]graph.Edge) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for pid, w := range want {
+		g := got[pid]
+		if len(w) != len(g) {
+			return false
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// durCheckpointRecovery runs the workload with the WAL on, checkpoints,
+// applies a post-checkpoint tail, "crashes" (reopens the directory), and
+// recovers a fresh system. It reports the checkpoint's size accounting, the
+// replayed record count, and whether the recovered views are bit-identical.
+func durCheckpointRecovery() (ck *storage.CheckpointData, replayed int, identical bool, err error) {
+	sys, err := durSys()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	dir, err := os.MkdirTemp("", "graphm-durability-*")
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer os.RemoveAll(dir)
+	st, _, err := storage.Open(dir, storage.StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	sys.SetEvolveSink(st)
+	for _, op := range durOps() {
+		if err := durApply(sys, op); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	if err := sys.Checkpoint(st); err != nil {
+		return nil, 0, false, err
+	}
+	rng := rand.New(rand.NewSource(durSeed * 7))
+	for i := 0; i < durTailOps; i++ {
+		edges := []graph.Edge{{
+			Src: graph.VertexID(rng.Intn(durNumV)),
+			Dst: graph.VertexID(rng.Intn(durNumV)),
+		}}
+		if _, err := sys.AddEdges(edges); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	wantGlobal, err := durViews(sys, -1)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	wantJob7, err := durViews(sys, 7)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	st.Close() // crash point
+
+	st2, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer st2.Close()
+	ck, err = storage.LatestCheckpoint(dir)
+	if err != nil || ck == nil {
+		return nil, 0, false, fmt.Errorf("durability: checkpoint not recovered: %v", err)
+	}
+	sys2, err := durSys()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := sys2.RestorePartitions(rec.Partitions); err != nil {
+		return nil, 0, false, err
+	}
+	if err := sys2.RestoreOverrides(rec.Overrides); err != nil {
+		return nil, 0, false, err
+	}
+	for _, ev := range rec.Evolves {
+		if err := sys2.ApplyEvolve(ev); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	gotGlobal, err := durViews(sys2, -1)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	gotJob7, err := durViews(sys2, 7)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	identical = durViewsEqual(wantGlobal, gotGlobal) && durViewsEqual(wantJob7, gotJob7)
+	return ck, rec.WALRecords, identical, nil
+}
+
+// durability is the durable-storage experiment: WAL overhead on serial
+// evolve ops, group-commit coalescing under concurrent writers, and the
+// checkpoint compression ratio plus a crash-recovery differential.
+func (h *Harness) durability() ([]*Table, error) {
+	// One untimed pass warms the allocator, page cache and code paths so the
+	// first timed mode is not penalized for going first.
+	if _, _, err := durSerialRun(false, false); err != nil {
+		return nil, err
+	}
+	// Off and no-fsync trials interleave so CPU-frequency and cache drift
+	// hits both modes alike: the overhead column compares best against best.
+	var offWall, noSyncWall time.Duration
+	var noSyncStats storage.WALStats
+	for i := 0; i < 5; i++ {
+		off, _, err := durSerialRun(false, false)
+		if err != nil {
+			return nil, err
+		}
+		on, stats, err := durSerialRun(true, true)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || off < offWall {
+			offWall = off
+		}
+		if i == 0 || on < noSyncWall {
+			noSyncWall, noSyncStats = on, stats
+		}
+	}
+	fsyncWall, fsyncStats, err := durBestOf(1, true, false)
+	if err != nil {
+		return nil, err
+	}
+	overheadPct := func(wall time.Duration) string {
+		if offWall <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (float64(wall)/float64(offWall)-1)*100)
+	}
+	opsPerSec := func(wall time.Duration) string {
+		if wall <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.0f", float64(durOpCount)/wall.Seconds())
+	}
+	t1 := &Table{
+		Title:   fmt.Sprintf("WAL overhead: %d serial evolve ops (adds, job-private adds, predicate removes)", durOpCount),
+		Headers: []string{"mode", "wall", "ops/s", "overhead vs off", "appends", "syncs"},
+		Rows: [][]string{
+			{"wal off", offWall.Round(time.Microsecond).String(), opsPerSec(offWall), "—", "0", "0"},
+			{"wal on (no fsync)", noSyncWall.Round(time.Microsecond).String(), opsPerSec(noSyncWall),
+				overheadPct(noSyncWall), human(noSyncStats.Appends), human(noSyncStats.Syncs)},
+			{"wal on (fsync)", fsyncWall.Round(time.Microsecond).String(), opsPerSec(fsyncWall),
+				overheadPct(fsyncWall), human(fsyncStats.Appends), human(fsyncStats.Syncs)},
+		},
+		Notes: []string{
+			"acceptance: the batching machinery itself (no-fsync row) stays under +10% over wal-off; the fsync row is dominated by device sync latency",
+			"best of 5 interleaved trials (1 for fsync); every mode applies the identical deterministic op sequence to a fresh system",
+		},
+	}
+
+	concWall, concStats, err := durConcurrentRun()
+	if err != nil {
+		return nil, err
+	}
+	ratio := func(s storage.WALStats) string {
+		if s.Syncs == 0 {
+			return "n/a"
+		}
+		return f2(float64(s.Appends) / float64(s.Syncs))
+	}
+	microWall, microStats, err := durWALMicro(durWriters, durWriterOps*8)
+	if err != nil {
+		return nil, err
+	}
+	t2 := &Table{
+		Title:   "group commit: fsync coalescing across concurrent evolve streams",
+		Headers: []string{"workload", "writers", "ops", "wall", "appends", "batches", "syncs", "appends/sync"},
+		Rows: [][]string{
+			{"engine, serial", "1", fmt.Sprintf("%d", durOpCount), fsyncWall.Round(time.Microsecond).String(),
+				human(fsyncStats.Appends), human(fsyncStats.Batches), human(fsyncStats.Syncs), ratio(fsyncStats)},
+			{"engine, concurrent", fmt.Sprintf("%d", durWriters), fmt.Sprintf("%d", durWriters*durWriterOps),
+				concWall.Round(time.Microsecond).String(),
+				human(concStats.Appends), human(concStats.Batches), human(concStats.Syncs), ratio(concStats)},
+			{"WAL direct", fmt.Sprintf("%d", durWriters), fmt.Sprintf("%d", durWriters*durWriterOps*8),
+				microWall.Round(time.Microsecond).String(),
+				human(microStats.Appends), human(microStats.Batches), human(microStats.Syncs), ratio(microStats)},
+		},
+		Notes: []string{
+			"commit waits happen outside the evolve lock, so writer N+1 appends while writer N's batch is still syncing; the flusher syncs every queued record in one batch",
+			"engine-level coalescing needs appends to outpace syncs: installs serialize under the controller lock, so the ratio only rises above 1 when device sync latency exceeds the per-op install cost",
+			"the WAL-direct row removes the install cost and shows the mechanism's ceiling on this device; serial ops can never coalesce (each waits for its own sync before issuing the next)",
+		},
+	}
+
+	ck, replayed, identical, err := durCheckpointRecovery()
+	if err != nil {
+		return nil, err
+	}
+	ident := "yes"
+	if !identical {
+		ident = "NO — recovered views diverge"
+	}
+	compRatio := "n/a"
+	if ck.CompressedBytes > 0 {
+		compRatio = f2(float64(ck.RawBytes) / float64(ck.CompressedBytes))
+	}
+	t3 := &Table{
+		Title:   "checkpoint compression and crash-recovery differential",
+		Headers: []string{"raw edge bytes", "compressed bytes", "ratio", "overrides", "WAL records replayed", "views bit-identical"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", ck.RawBytes),
+			fmt.Sprintf("%d", ck.CompressedBytes),
+			compRatio,
+			fmt.Sprintf("%d", len(ck.Overrides)),
+			fmt.Sprintf("%d", replayed),
+			ident,
+		}},
+		Notes: []string{
+			"chunk payloads are delta/varint compressed (sorted-run splitting, zig-zag deltas); the checkpoint covers the global stream plus live job-private overrides",
+			fmt.Sprintf("recovery = checkpoint restore + override restore + replay of the %d post-checkpoint WAL records, compared bit-for-bit against the pre-crash global and job-7 views", replayed),
+		},
+	}
+	if !identical {
+		return []*Table{t1, t2, t3}, fmt.Errorf("durability: crash-recovery differential failed (views diverge)")
+	}
+	return []*Table{t1, t2, t3}, nil
+}

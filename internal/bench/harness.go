@@ -87,6 +87,7 @@ var experiments = []experiment{
 	{"hotpath-serial-labelprop", "serial hot path, homogeneous label-propagation jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("labelprop") }},
 	{"hotpath-serial-ppr", "serial hot path, homogeneous PPR jobs (per-algorithm gate)", func(h *Harness) ([]*Table, error) { return h.hotpathSerialAlgo("ppr") }},
 	{"serve-http", "Figure-2 trace through the HTTP daemon over a loopback socket", (*Harness).serveHTTP},
+	{"durability", "WAL overhead, group-commit coalescing, checkpoint compression + crash recovery", (*Harness).durability},
 }
 
 // Experiments lists runnable experiment names in paper order.

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphm/internal/chunk"
+	"graphm/internal/graph"
+	"graphm/internal/storage"
+)
+
+// Durable-storage hooks: the sharing controller stays a pure in-memory
+// engine, but when a WAL sink is registered every evolve operation appends
+// one record (under s.mu, in installation order) and returns only after the
+// record's group commit. Recovery is the inverse: RestorePartitions +
+// RestoreOverrides rebuild the snapshot store from the last checkpoint, then
+// ApplyEvolve replays WAL records through the same code paths with logging
+// off. The in-memory model remains the reference; durability is layered on.
+
+// SetEvolveSink registers the WAL sink evolve operations append to. Pass nil
+// to disable logging. Call it only while no evolve operation is in flight
+// (daemon startup: after recovery replay, before serving traffic).
+func (s *System) SetEvolveSink(sink storage.EvolveSink) {
+	s.mu.Lock()
+	s.evolveSink = sink
+	s.mu.Unlock()
+}
+
+// logEvolveLocked appends rec to the sink. Caller holds s.mu, which orders
+// records exactly as their installations. The returned commit (nil when no
+// sink is configured) must be awaited after releasing s.mu.
+func (s *System) logEvolveLocked(rec storage.EvolveRecord) (func() error, error) {
+	if s.evolveSink == nil {
+		return nil, nil
+	}
+	return s.evolveSink.AppendEvolve(rec)
+}
+
+// awaitCommit resolves the (commit, err) pair logEvolveLocked produced.
+func awaitCommit(commit func() error, err error) error {
+	if err != nil {
+		return err
+	}
+	if commit == nil {
+		return nil
+	}
+	return commit()
+}
+
+// ApplyEvolve replays one recovered WAL record through the normal evolve
+// path with logging disabled (replay must not re-log). Records must be
+// applied in WAL order before any job runs and before SetEvolveSink.
+func (s *System) ApplyEvolve(rec storage.EvolveRecord) error {
+	switch rec.Op {
+	case storage.EvolveAdd:
+		_, err := s.addEdges(rec.Edges, false)
+		return err
+	case storage.EvolveAddFor:
+		return s.addEdgesFor(rec.JobID, rec.Edges, false)
+	case storage.EvolveRemove:
+		_, _, err := s.removeEdges(multisetPred(rec.Edges), false)
+		return err
+	case storage.EvolveRemoveFor:
+		_, err := s.removeEdgesFor(rec.JobID, multisetPred(rec.Edges), false)
+		return err
+	default:
+		return fmt.Errorf("core: unknown evolve op %v", rec.Op)
+	}
+}
+
+// multisetPred matches each recorded edge at most its recorded multiplicity,
+// so replaying a predicate removal deletes exactly the edges the original
+// scan deleted (the record holds the scan's concrete result, and the replay
+// scan visits partitions and chunks in the same order).
+func multisetPred(edges []graph.Edge) func(graph.Edge) bool {
+	counts := make(map[graph.Edge]int, len(edges))
+	for _, e := range edges {
+		counts[e]++
+	}
+	return func(e graph.Edge) bool {
+		if counts[e] > 0 {
+			counts[e]--
+			return true
+		}
+		return false
+	}
+}
+
+// RestorePartitions rewrites every listed partition's global stream to the
+// checkpointed contents, installing a version update only where the stream
+// differs from the current base (a freshly built system over the same
+// dataset usually matches except where evolve ops landed). Call before any
+// jobs run.
+func (s *System) RestorePartitions(parts map[int][]graph.Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pids := make([]int, 0, len(parts))
+	for pid := range parts {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if err := s.restorePartitionLocked(pid, parts[pid], -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreOverrides re-installs checkpointed job-private partition views,
+// keyed by the jobs' original IDs (re-admission preserves IDs, so the
+// re-run jobs resolve their pre-crash mutations).
+func (s *System) RestoreOverrides(ovs []storage.JobOverride) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ov := range ovs {
+		if err := s.restorePartitionLocked(ov.PartID, ov.Edges, ov.JobID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restorePartitionLocked splits stream along the partition's current
+// labelling and installs it — as global updates for jobID < 0, as
+// job-private overrides otherwise. SplitStream gives the final chunk the
+// tail, mirroring AddEdges' append-to-last-chunk placement.
+func (s *System) restorePartitionLocked(pid int, stream []graph.Edge, jobID int) error {
+	set, ok := s.sets[pid]
+	if !ok || set.NumChunks() == 0 {
+		if len(stream) == 0 {
+			return nil
+		}
+		return fmt.Errorf("core: cannot restore %d edges into unlabelled partition %d", len(stream), pid)
+	}
+	for k, seg := range chunk.SplitStream(stream, set.ChunkBytes, set.NumChunks()) {
+		if jobID >= 0 {
+			s.snaps.mutate(jobID, pid, k, seg, s.mem.AllocAddr)
+			continue
+		}
+		cur, err := s.chunkViewEdgesLocked(-1, pid, k)
+		if err != nil {
+			return err
+		}
+		if edgeSlicesEqual(cur, seg) {
+			continue
+		}
+		if _, err := s.updateChunkLocked(pid, k, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func edgeSlicesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpoint captures a consistent durable snapshot through ck's two-phase
+// protocol: the WAL rotation and the state capture happen atomically under
+// s.mu (no evolve record can land between them, so the checkpoint plus the
+// post-rotation segments always reproduce the current state), then the slow
+// compression and write run without the lock.
+func (s *System) Checkpoint(ck storage.Checkpointer) error {
+	s.mu.Lock()
+	write, err := ck.BeginCheckpoint()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	state := s.captureStateLocked()
+	s.mu.Unlock()
+	return write(state)
+}
+
+// captureStateLocked snapshots the current global stream of every labelled
+// partition plus every live job-private override view.
+func (s *System) captureStateLocked() storage.CheckpointState {
+	state := storage.CheckpointState{
+		Version:    uint64(s.snaps.currentVersion()),
+		Partitions: make(map[int][]graph.Edge, len(s.parts)),
+	}
+	capture := func(jobID, pid int) []graph.Edge {
+		set := s.sets[pid]
+		var stream []graph.Edge
+		for k := 0; k < set.NumChunks(); k++ {
+			cur, err := s.chunkViewEdgesLocked(jobID, pid, k)
+			if err != nil {
+				continue
+			}
+			stream = append(stream, cur...)
+		}
+		return stream
+	}
+	for _, p := range s.parts {
+		set, ok := s.sets[p.ID]
+		if !ok || set.NumChunks() == 0 {
+			continue
+		}
+		state.Partitions[p.ID] = capture(-1, p.ID)
+	}
+	for _, jp := range s.snaps.overridePartitions() {
+		jobID, pid := jp[0], jp[1]
+		set, ok := s.sets[pid]
+		if !ok || set.NumChunks() == 0 {
+			continue
+		}
+		state.Overrides = append(state.Overrides, storage.JobOverride{
+			JobID:  jobID,
+			PartID: pid,
+			Edges:  capture(jobID, pid),
+		})
+	}
+	return state
+}

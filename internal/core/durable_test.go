@@ -1,0 +1,282 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"graphm/internal/core"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+// buildDurableSys builds a fresh System over the same deterministic graph and
+// grid, so two builds are bit-identical starting points (the crash/restart
+// differential depends on that).
+func buildDurableSys(t *testing.T) *core.System {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("durable", 256, 2000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 4, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := storage.NewMemory(disk, 64<<20)
+	cache, err := memsim.NewCache(memsim.DefaultConfig(64 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(grid.AsLayout(), mem, cache, core.DefaultConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// viewsOf concatenates every partition's chunk stream as observed by jobID.
+func viewsOf(t *testing.T, sys *core.System, jobID int) map[int][]graph.Edge {
+	t.Helper()
+	out := make(map[int][]graph.Edge)
+	for pid := 0; pid < sys.NumPartitions(); pid++ {
+		var stream []graph.Edge
+		for k := 0; k < sys.ChunkCount(pid); k++ {
+			edges, err := sys.ChunkView(jobID, pid, k)
+			if err != nil {
+				t.Fatalf("chunk view %d/%d: %v", pid, k, err)
+			}
+			stream = append(stream, edges...)
+		}
+		out[pid] = stream
+	}
+	return out
+}
+
+func assertViewsEqual(t *testing.T, want, got map[int][]graph.Edge, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: partition count %d vs %d", label, len(got), len(want))
+	}
+	for pid, w := range want {
+		g := got[pid]
+		if len(w) != len(g) {
+			t.Fatalf("%s: partition %d has %d edges, want %d", label, pid, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: partition %d edge %d = %+v, want %+v", label, pid, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// mutateSequence drives a representative evolve workload: global adds and
+// removes plus job-private mutations for two jobs.
+func mutateSequence(t *testing.T, sys *core.System) {
+	t.Helper()
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 3, Dst: 200, Weight: 1}, {Src: 180, Dst: 4, Weight: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddEdgesFor(7, []graph.Edge{{Src: 10, Dst: 11, Weight: 3}, {Src: 200, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.RemoveEdges(func(e graph.Edge) bool { return e.Dst == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RemoveEdgesFor(7, func(e graph.Edge) bool { return e.Src == 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddEdgesFor(9, []graph.Edge{{Src: 50, Dst: 51}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 99, Dst: 98}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recoverInto rebuilds a fresh system from rec: checkpoint restore, override
+// restore, then WAL replay — the daemon's startup path.
+func recoverInto(t *testing.T, sys *core.System, rec *storage.Recovery) {
+	t.Helper()
+	if rec.HasCheckpoint {
+		if err := sys.RestorePartitions(rec.Partitions); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RestoreOverrides(rec.Overrides); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ev := range rec.Evolves {
+		if err := sys.ApplyEvolve(ev); err != nil {
+			t.Fatalf("replay record %d (%v): %v", i, ev.Op, err)
+		}
+	}
+}
+
+// TestWALReplayDifferential: run evolve ops with the WAL on, "crash" (drop
+// the in-memory system), recover a fresh system by replay alone, and require
+// bit-identical global and job-private views.
+func TestWALReplayDifferential(t *testing.T) {
+	dir := t.TempDir()
+	st, rec0, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec0.WALRecords != 0 {
+		t.Fatalf("fresh store has %d WAL records", rec0.WALRecords)
+	}
+	sys1 := buildDurableSys(t)
+	sys1.SetEvolveSink(st)
+	mutateSequence(t, sys1)
+	wantGlobal := viewsOf(t, sys1, -1)
+	wantJob7 := viewsOf(t, sys1, 7)
+	wantJob9 := viewsOf(t, sys1, 9)
+	st.Close() // crash: no checkpoint was ever written
+
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasCheckpoint {
+		t.Fatal("unexpected checkpoint")
+	}
+	if rec.WALRecords != 6 {
+		t.Fatalf("WAL records = %d, want 6", rec.WALRecords)
+	}
+	sys2 := buildDurableSys(t)
+	recoverInto(t, sys2, rec)
+	assertViewsEqual(t, wantGlobal, viewsOf(t, sys2, -1), "global view")
+	assertViewsEqual(t, wantJob7, viewsOf(t, sys2, 7), "job 7 view")
+	assertViewsEqual(t, wantJob9, viewsOf(t, sys2, 9), "job 9 view")
+}
+
+// TestCheckpointRecoveryDifferential: same workload, but a checkpoint lands
+// mid-sequence (garbage-collecting the covered WAL records). Recovery =
+// checkpoint + override restore + tail replay; views must still match, and
+// the pre-checkpoint private mutation must survive via the checkpoint's
+// override section.
+func TestCheckpointRecoveryDifferential(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1 := buildDurableSys(t)
+	sys1.SetEvolveSink(st)
+
+	// Pre-checkpoint: a global update and a job-private mutation.
+	if _, err := sys1.AddEdges([]graph.Edge{{Src: 3, Dst: 200, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys1.AddEdgesFor(7, []graph.Edge{{Src: 10, Dst: 11, Weight: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys1.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint tail.
+	if _, _, err := sys1.RemoveEdges(func(e graph.Edge) bool { return e.Dst == 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys1.AddEdgesFor(7, []graph.Edge{{Src: 20, Dst: 21}}); err != nil {
+		t.Fatal(err)
+	}
+	wantGlobal := viewsOf(t, sys1, -1)
+	wantJob7 := viewsOf(t, sys1, 7)
+	st.Close()
+
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasCheckpoint {
+		t.Fatal("no checkpoint recovered")
+	}
+	if len(rec.Overrides) == 0 {
+		t.Fatal("checkpoint carried no job overrides")
+	}
+	// The checkpoint covered the first two records; only the tail replays.
+	if rec.WALRecords >= 4 {
+		t.Fatalf("WAL records = %d, want < 4 (checkpoint GC)", rec.WALRecords)
+	}
+	sys2 := buildDurableSys(t)
+	recoverInto(t, sys2, rec)
+	assertViewsEqual(t, wantGlobal, viewsOf(t, sys2, -1), "global view")
+	assertViewsEqual(t, wantJob7, viewsOf(t, sys2, 7), "job 7 view")
+}
+
+// TestConcurrentEvolveDurability: many goroutines evolving at once must
+// produce a WAL whose replay reproduces the exact final views — the commit
+// wait happens outside the evolve mutex (so batches can coalesce), which
+// must not reorder records relative to their in-memory application.
+func TestConcurrentEvolveDurability(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := storage.Open(dir, storage.StoreOptions{}) // real fsync path
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1 := buildDurableSys(t)
+	sys1.SetEvolveSink(st)
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				src := graph.VertexID((w*31 + i*7) % 256)
+				dst := graph.VertexID((w*17 + i*13) % 256)
+				if _, err := sys1.AddEdges([]graph.Edge{{Src: src, Dst: dst, Weight: float32(w)}}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := viewsOf(t, sys1, -1)
+	st.Close()
+
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WALRecords != writers*4 {
+		t.Fatalf("WAL has %d records, want %d", rec.WALRecords, writers*4)
+	}
+	sys2 := buildDurableSys(t)
+	recoverInto(t, sys2, rec)
+	assertViewsEqual(t, want, viewsOf(t, sys2, -1), "global view")
+}
+
+// TestEvolveDurableAck: with a real (syncing) store, every evolve op must
+// have its record on disk by the time it returns — kill -9 right after the
+// call cannot lose it. Simulated by reopening the directory without closing
+// the first store.
+func TestEvolveDurableAck(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := storage.Open(dir, storage.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := buildDurableSys(t)
+	sys.SetEvolveSink(st)
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 1, Dst: 2, Weight: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: read the directory as a crash recovery would.
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WALRecords != 1 {
+		t.Fatalf("acked op not durable: %d WAL records", rec.WALRecords)
+	}
+	if rec.Evolves[0].Op != storage.EvolveAdd || rec.Evolves[0].Edges[0] != (graph.Edge{Src: 1, Dst: 2, Weight: 5}) {
+		t.Fatalf("recovered record = %+v", rec.Evolves[0])
+	}
+	st.Close()
+}

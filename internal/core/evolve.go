@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"graphm/internal/graph"
+	"graphm/internal/storage"
 )
 
 // Edge-level evolving-graph operations (Section 3.3.2 and the paper's
@@ -55,55 +56,95 @@ func (s *System) lastChunkLocked(pid int) (int, error) {
 // AddEdges installs new edges as a graph *update*: jobs submitted after the
 // call observe them; running jobs keep their snapshot. It returns the new
 // snapshot version. The whole multi-chunk installation runs atomically
-// against adaptive re-labelling.
+// against adaptive re-labelling, and — when a WAL sink is configured — the
+// call returns only once its record is durable.
 func (s *System) AddEdges(edges []graph.Edge) (int, error) {
+	return s.addEdges(edges, true)
+}
+
+func (s *System) addEdges(edges []graph.Edge, log bool) (int, error) {
 	groups, err := s.groupBySourcePartition(edges)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	version := s.snaps.currentVersion()
-	for _, pid := range sortedPartitionIDs(groups) {
-		add := groups[pid]
-		k, err := s.lastChunkLocked(pid)
-		if err != nil {
-			return 0, err
+	// The installation and the WAL append run under the locks; the commit
+	// wait runs after BOTH are released. Record order is fixed at append
+	// time (under s.mu), so the next evolve op can install and append while
+	// this one's batch is still fsyncing — that overlap is what lets the
+	// WAL coalesce concurrent evolve streams into shared syncs.
+	version, commit, err := func() (int, func() error, error) {
+		s.evolveMu.Lock()
+		defer s.evolveMu.Unlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		version := s.snaps.currentVersion()
+		for _, pid := range sortedPartitionIDs(groups) {
+			add := groups[pid]
+			k, err := s.lastChunkLocked(pid)
+			if err != nil {
+				return 0, nil, err
+			}
+			cur, err := s.chunkViewEdgesLocked(-1, pid, k)
+			if err != nil {
+				return 0, nil, err
+			}
+			merged := append(append([]graph.Edge(nil), cur...), add...)
+			version, err = s.updateChunkLocked(pid, k, merged)
+			if err != nil {
+				return 0, nil, err
+			}
 		}
-		cur, err := s.chunkViewEdgesLocked(-1, pid, k)
-		if err != nil {
-			return 0, err
+		if !log {
+			return version, nil, nil
 		}
-		merged := append(append([]graph.Edge(nil), cur...), add...)
-		version, err = s.updateChunkLocked(pid, k, merged)
-		if err != nil {
-			return 0, err
-		}
+		commit, logErr := s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveAdd, Edges: edges})
+		return version, commit, logErr
+	}()
+	if err != nil {
+		return 0, err
+	}
+	if err := awaitCommit(commit, nil); err != nil {
+		return 0, err
 	}
 	return version, nil
 }
 
 // AddEdgesFor installs new edges as a *mutation* private to jobID.
 func (s *System) AddEdgesFor(jobID int, edges []graph.Edge) error {
+	return s.addEdgesFor(jobID, edges, true)
+}
+
+func (s *System) addEdgesFor(jobID int, edges []graph.Edge, log bool) error {
 	groups, err := s.groupBySourcePartition(edges)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, pid := range sortedPartitionIDs(groups) {
-		k, err := s.lastChunkLocked(pid)
-		if err != nil {
-			return err
+	commit, err := func() (func() error, error) {
+		s.evolveMu.Lock()
+		defer s.evolveMu.Unlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, pid := range sortedPartitionIDs(groups) {
+			k, err := s.lastChunkLocked(pid)
+			if err != nil {
+				return nil, err
+			}
+			add := groups[pid]
+			if err := s.mutateChunkLocked(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
+				return append(cur, add...)
+			}); err != nil {
+				return nil, err
+			}
 		}
-		add := groups[pid]
-		if err := s.mutateChunkLocked(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
-			return append(cur, add...)
-		}); err != nil {
-			return err
+		if !log {
+			return nil, nil
 		}
+		return s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveAddFor, JobID: jobID, Edges: edges})
+	}()
+	if err != nil {
+		return err
 	}
-	return nil
+	return awaitCommit(commit, nil)
 }
 
 // RemoveEdges installs an update deleting every edge matching pred; it
@@ -115,36 +156,68 @@ func (s *System) AddEdgesFor(jobID int, edges []graph.Edge) error {
 // runs under that per-partition lock: it must be a pure predicate and must
 // not call back into the System.
 func (s *System) RemoveEdges(pred func(graph.Edge) bool) (version, removed int, err error) {
-	s.mu.Lock()
-	version = s.snaps.currentVersion()
-	s.mu.Unlock()
-	for _, p := range s.parts {
+	return s.removeEdges(pred, true)
+}
+
+func (s *System) removeEdges(pred func(graph.Edge) bool, log bool) (version, removed int, err error) {
+	var commit func() error
+	version, removed, commit, err = func() (version, removed int, commit func() error, err error) {
+		s.evolveMu.Lock()
+		defer s.evolveMu.Unlock()
 		s.mu.Lock()
-		set := s.sets[p.ID]
-		for k := 0; k < set.NumChunks(); k++ {
-			cur, err := s.chunkViewEdgesLocked(-1, p.ID, k)
-			if err != nil {
-				s.mu.Unlock()
-				return 0, 0, err
-			}
-			kept := make([]graph.Edge, 0, len(cur))
-			for _, e := range cur {
-				if pred(e) {
-					removed++
-				} else {
-					kept = append(kept, e)
+		version = s.snaps.currentVersion()
+		collect := log && s.evolveSink != nil
+		s.mu.Unlock()
+		// The WAL record holds the concrete removed multiset, not the
+		// predicate: replay then needs no predicate and is deterministic by
+		// construction.
+		var removedEdges []graph.Edge
+		for _, p := range s.parts {
+			s.mu.Lock()
+			set := s.sets[p.ID]
+			for k := 0; k < set.NumChunks(); k++ {
+				cur, err := s.chunkViewEdgesLocked(-1, p.ID, k)
+				if err != nil {
+					s.mu.Unlock()
+					return 0, 0, nil, err
+				}
+				kept := make([]graph.Edge, 0, len(cur))
+				for _, e := range cur {
+					if pred(e) {
+						removed++
+						if collect {
+							removedEdges = append(removedEdges, e)
+						}
+					} else {
+						kept = append(kept, e)
+					}
+				}
+				if len(kept) == len(cur) {
+					continue
+				}
+				version, err = s.updateChunkLocked(p.ID, k, kept)
+				if err != nil {
+					s.mu.Unlock()
+					return 0, 0, nil, err
 				}
 			}
-			if len(kept) == len(cur) {
-				continue
-			}
-			version, err = s.updateChunkLocked(p.ID, k, kept)
+			s.mu.Unlock()
+		}
+		if collect && len(removedEdges) > 0 {
+			s.mu.Lock()
+			commit, err = s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveRemove, Edges: removedEdges})
+			s.mu.Unlock()
 			if err != nil {
-				s.mu.Unlock()
-				return 0, 0, err
+				return 0, 0, nil, err
 			}
 		}
-		s.mu.Unlock()
+		return version, removed, commit, nil
+	}()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := awaitCommit(commit, nil); err != nil {
+		return 0, 0, err
 	}
 	return version, removed, nil
 }
@@ -153,39 +226,71 @@ func (s *System) RemoveEdges(pred func(graph.Edge) bool) (version, removed int, 
 // RemoveEdges it locks per partition, and pred must not call back into the
 // System.
 func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed int, err error) {
-	for _, p := range s.parts {
+	return s.removeEdgesFor(jobID, pred, true)
+}
+
+func (s *System) removeEdgesFor(jobID int, pred func(graph.Edge) bool, log bool) (removed int, err error) {
+	var commit func() error
+	removed, commit, err = func() (removed int, commit func() error, err error) {
+		s.evolveMu.Lock()
+		defer s.evolveMu.Unlock()
 		s.mu.Lock()
-		set := s.sets[p.ID]
-		for k := 0; k < set.NumChunks(); k++ {
-			cur, err := s.chunkViewEdgesLocked(jobID, p.ID, k)
-			if err != nil {
-				s.mu.Unlock()
-				return 0, err
-			}
-			match := 0
-			for _, e := range cur {
-				if pred(e) {
-					match++
+		collect := log && s.evolveSink != nil
+		s.mu.Unlock()
+		var removedEdges []graph.Edge
+		for _, p := range s.parts {
+			s.mu.Lock()
+			set := s.sets[p.ID]
+			for k := 0; k < set.NumChunks(); k++ {
+				cur, err := s.chunkViewEdgesLocked(jobID, p.ID, k)
+				if err != nil {
+					s.mu.Unlock()
+					return 0, nil, err
 				}
-			}
-			if match == 0 {
-				continue
-			}
-			removed += match
-			if err := s.mutateChunkLocked(jobID, p.ID, k, func(cur []graph.Edge) []graph.Edge {
-				kept := cur[:0]
+				// pred runs exactly once per edge: replay predicates are
+				// stateful multisets, so a second evaluation would see
+				// consumed counts. The view cannot change between this scan
+				// and the mutate below — s.mu is held throughout — so
+				// installing the precomputed kept slice is equivalent to
+				// re-filtering.
+				kept := make([]graph.Edge, 0, len(cur))
 				for _, e := range cur {
-					if !pred(e) {
+					if pred(e) {
+						if collect {
+							removedEdges = append(removedEdges, e)
+						}
+					} else {
 						kept = append(kept, e)
 					}
 				}
-				return kept
-			}); err != nil {
-				s.mu.Unlock()
-				return 0, err
+				if len(kept) == len(cur) {
+					continue
+				}
+				removed += len(cur) - len(kept)
+				if err := s.mutateChunkLocked(jobID, p.ID, k, func([]graph.Edge) []graph.Edge {
+					return kept
+				}); err != nil {
+					s.mu.Unlock()
+					return 0, nil, err
+				}
+			}
+			s.mu.Unlock()
+		}
+		if collect && len(removedEdges) > 0 {
+			s.mu.Lock()
+			commit, err = s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveRemoveFor, JobID: jobID, Edges: removedEdges})
+			s.mu.Unlock()
+			if err != nil {
+				return 0, nil, err
 			}
 		}
-		s.mu.Unlock()
+		return removed, commit, nil
+	}()
+	if err != nil {
+		return 0, err
+	}
+	if err := awaitCommit(commit, nil); err != nil {
+		return 0, err
 	}
 	return removed, nil
 }

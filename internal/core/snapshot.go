@@ -322,6 +322,31 @@ func (st *snapshotStore) relabelPartition(pid int, baseEdges []graph.Edge, old, 
 	}
 }
 
+// overridePartitions lists the (jobID, partitionID) pairs holding live
+// job-private overrides, sorted for deterministic checkpoint layout.
+func (st *snapshotStore) overridePartitions() [][2]int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out [][2]int
+	for jobID, m := range st.overrides {
+		seen := make(map[int]bool)
+		for key := range m {
+			pid := int(key >> 32)
+			if !seen[pid] {
+				seen[pid] = true
+				out = append(out, [2]int{jobID, pid})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // overrideCount reports live override chunks, for tests and stats.
 func (st *snapshotStore) overrideCount() int {
 	st.mu.RLock()

@@ -218,6 +218,13 @@ type System struct {
 	pf    *storage.PrefetchHandle
 	pfPID int
 
+	// evolveSink, when set, receives one WAL record per evolve operation;
+	// evolveMu serializes whole evolve operations (multi-partition scans
+	// included) so WAL record order equals application order. Lock order:
+	// evolveMu before mu; the streaming hot path never touches evolveMu.
+	evolveSink storage.EvolveSink
+	evolveMu   sync.Mutex
+
 	sharedTE float64 // T(E), profiled once per graph (Section 3.4.2)
 
 	stats Stats

@@ -52,6 +52,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("graphm_relabels_total", "Adaptive chunk re-labellings applied.", stats.Relabels)
 	counter("graphm_relabel_skips_total", "Re-labellings suppressed by hysteresis.", stats.RelabelSkips)
 
+	// Durable storage: the live snapshot version (bumps on every global
+	// evolve update and restore), recovery facts, and the WAL's group-commit
+	// economics (syncs << appends is the batching win).
+	gauge("graphm_snapshot_version", "Current graph snapshot version.", float64(s.sys.SnapshotVersion()))
+	if rec := s.Recovered(); rec != nil {
+		gauge("graphm_recovered", "1 when this process recovered from a durable data directory.", 1)
+		counter("graphm_recovered_wal_records", "WAL records replayed at startup.", uint64(rec.WALRecords))
+		counter("graphm_resumed_tickets", "Pending tickets re-admitted at startup.", uint64(rec.ResumedTickets))
+	}
+	if st := s.Store(); st != nil {
+		ws := st.WALStats()
+		counter("graphm_wal_appends_total", "Evolve records appended to the WAL.", ws.Appends)
+		counter("graphm_wal_batches_total", "Write batches flushed (group commit).", ws.Batches)
+		counter("graphm_wal_syncs_total", "fsync calls issued by the WAL.", ws.Syncs)
+		counter("graphm_wal_bytes_total", "Bytes framed into the WAL.", ws.Bytes)
+	}
+
 	// HTTP layer.
 	counter("graphm_http_requests_total", "HTTP requests served.", s.httpRequests.Load())
 	counter("graphm_http_errors_total", "HTTP responses with status >= 400.", s.httpErrors.Load())

@@ -7,16 +7,24 @@ import (
 	"graphm/internal/core"
 )
 
-// tenantLimiter is a classic token-bucket rate limiter keyed by tenant:
-// each tenant's bucket refills at rate tokens/second up to burst, and one
+// tenantLimiter is a token-bucket rate limiter keyed by tenant: each
+// tenant's bucket refills at rate tokens/second up to burst, and one
 // submission costs one token. Buckets are created on first use and pruned
 // once they have been full (i.e. carrying no information) for a while, so a
 // long-running daemon's limiter state tracks active tenants, not tenants
 // ever seen — the same policy the service applies to its fairness rotation.
+//
+// Accounting is integer nanoseconds, not floating-point tokens: a bucket
+// holds availNS nanoseconds of accumulated credit and a token costs
+// intervalNS (1e9/rate). Refill is now.Sub(last) added verbatim, so credit
+// never drifts — over a week of virtual-clock submissions the grant count
+// is exactly floor((burstNS + elapsedNS) / intervalNS), which the float
+// version could not promise (repeated seconds-times-rate accumulation
+// rounds, and the error compounds per call).
 type tenantLimiter struct {
-	rate  float64
-	burst float64
-	clock core.Clock
+	intervalNS int64 // nanoseconds per token; 0 means unlimited
+	burstNS    int64 // bucket capacity in credit-nanoseconds
+	clock      core.Clock
 
 	mu      sync.Mutex
 	buckets map[string]*tokenBucket
@@ -24,27 +32,38 @@ type tenantLimiter struct {
 }
 
 type tokenBucket struct {
-	tokens float64
-	last   time.Time
+	availNS int64 // accumulated credit, capped at burstNS
+	last    time.Time
 }
 
 // sweepEvery bounds how often the limiter prunes full buckets: once per
 // this many allow calls, amortized O(1) per submission.
 const sweepEvery = 4096
 
+// newTenantLimiter builds a limiter refilling rate tokens/second with a
+// capacity of burst tokens. rate <= 0 — or a rate so high a token interval
+// rounds below one nanosecond — disables limiting: allow always grants.
+// (Guarding here and not just at the Config layer means no call path can
+// reach the old rate-zero division.)
 func newTenantLimiter(rate, burst float64, clock core.Clock) *tenantLimiter {
-	return &tenantLimiter{
-		rate:    rate,
-		burst:   burst,
-		clock:   clock,
-		buckets: make(map[string]*tokenBucket),
+	l := &tenantLimiter{clock: clock, buckets: make(map[string]*tokenBucket)}
+	if rate > 0 {
+		l.intervalNS = int64(float64(time.Second) / rate)
 	}
+	if burst < 1 {
+		burst = 1
+	}
+	l.burstNS = int64(burst * float64(l.intervalNS))
+	return l
 }
 
 // allow spends one token from tenant's bucket if available. When it is not,
 // allow reports false plus how long until the bucket next holds a full
 // token.
 func (l *tenantLimiter) allow(tenant string) (bool, time.Duration) {
+	if l.intervalNS <= 0 {
+		return true, 0
+	}
 	now := l.clock.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -55,20 +74,22 @@ func (l *tenantLimiter) allow(tenant string) (bool, time.Duration) {
 	}
 	b, ok := l.buckets[tenant]
 	if !ok {
-		b = &tokenBucket{tokens: l.burst, last: now}
+		b = &tokenBucket{availNS: l.burstNS, last: now}
 		l.buckets[tenant] = b
 	} else {
-		b.tokens += now.Sub(b.last).Seconds() * l.rate
-		if b.tokens > l.burst {
-			b.tokens = l.burst
+		if elapsed := now.Sub(b.last).Nanoseconds(); elapsed > 0 {
+			if b.availNS > l.burstNS-elapsed {
+				b.availNS = l.burstNS
+			} else {
+				b.availNS += elapsed
+			}
 		}
 		b.last = now
 	}
-	if b.tokens < 1 {
-		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
-		return false, wait
+	if b.availNS < l.intervalNS {
+		return false, time.Duration(l.intervalNS - b.availNS)
 	}
-	b.tokens--
+	b.availNS -= l.intervalNS
 	return true, 0
 }
 
@@ -76,7 +97,7 @@ func (l *tenantLimiter) allow(tenant string) (bool, time.Duration) {
 // tenant's bucket converges to burst and then encodes nothing.
 func (l *tenantLimiter) pruneLocked(now time.Time) {
 	for tenant, b := range l.buckets {
-		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+		if elapsed := now.Sub(b.last).Nanoseconds(); elapsed >= l.burstNS-b.availNS {
 			delete(l.buckets, tenant)
 		}
 	}

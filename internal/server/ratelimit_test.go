@@ -1,0 +1,125 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"graphm/internal/core"
+)
+
+// TestLimiterDisabledForNonPositiveRate: rate <= 0 means "no limit", not a
+// division by zero. The old float implementation computed (1-tokens)/rate
+// for the Retry-After hint, which is +Inf at rate 0 and a nonsense negative
+// wait below it; the limiter itself must be safe regardless of what the
+// Config layer filters.
+func TestLimiterDisabledForNonPositiveRate(t *testing.T) {
+	clock := core.NewVirtualClock(time.Unix(0, 0))
+	for _, rate := range []float64{0, -1, -1e9} {
+		l := newTenantLimiter(rate, 4, clock)
+		for i := 0; i < 1000; i++ {
+			ok, wait := l.allow("a")
+			if !ok || wait != 0 {
+				t.Fatalf("rate %g: allow #%d = (%v, %v), want unlimited", rate, i, ok, wait)
+			}
+		}
+		if l.size() != 0 {
+			t.Fatalf("rate %g: disabled limiter allocated %d buckets", rate, l.size())
+		}
+	}
+	// A rate so high the token interval rounds below 1ns is also unlimited.
+	l := newTenantLimiter(2e9, 1, clock)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("sub-nanosecond interval not treated as unlimited")
+	}
+}
+
+// TestLimiterServerConfigNegativeRate: a Config carrying a negative rate
+// produces a server with rate limiting off (satellite regression for the
+// crash seen when a deployment set rate_per_sec: -1 to mean "disabled").
+func TestLimiterServerConfigNegativeRate(t *testing.T) {
+	cfg := Config{RatePerSec: -1}.withDefaults()
+	if cfg.RatePerSec != 0 {
+		t.Fatalf("withDefaults kept RatePerSec = %g", cfg.RatePerSec)
+	}
+}
+
+// TestLimiterExactOverWeekVirtualClock drives one bucket for a simulated
+// week and checks the grant count against the closed form
+// floor((burstNS + elapsedNS) / intervalNS). Integer accounting makes that
+// exact; float token arithmetic accumulates rounding error across ~778k
+// refills and drifts off by whole tokens over this horizon.
+func TestLimiterExactOverWeekVirtualClock(t *testing.T) {
+	clock := core.NewVirtualClock(time.Unix(0, 0))
+	const (
+		rate  = 1.0 // 1 token/s -> intervalNS = 1e9 exactly
+		burst = 2.0
+		step  = 777 * time.Millisecond // deliberately not a divisor of 1s
+		week  = 168 * time.Hour
+	)
+	l := newTenantLimiter(rate, burst, clock)
+	if l.intervalNS != int64(time.Second) || l.burstNS != 2*int64(time.Second) {
+		t.Fatalf("intervalNS=%d burstNS=%d", l.intervalNS, l.burstNS)
+	}
+
+	granted := int64(0)
+	steps := int64(week / step)
+	for i := int64(0); i < steps; i++ {
+		if ok, _ := l.allow("tenant"); ok {
+			granted++
+		}
+		clock.Advance(step)
+	}
+	// Credit conservation: the bucket starts at burstNS, accrues stepNS per
+	// iteration after the attempt, and each grant costs intervalNS. With
+	// step < interval the cap never clips (avail stays below burstNS after
+	// the initial spend), so grants are exactly the closed form over the
+	// credit available at the final attempt.
+	elapsedNS := (steps - 1) * int64(step) // clock at the last attempt
+	want := (l.burstNS + elapsedNS) / l.intervalNS
+	if granted != want {
+		t.Fatalf("granted %d tokens over a week, want exactly %d (off by %d)",
+			granted, want, granted-want)
+	}
+
+	// And the refusal hint stays a sane sub-interval duration throughout.
+	if ok, wait := l.allow("tenant"); !ok {
+		if wait <= 0 || wait > time.Duration(l.intervalNS) {
+			t.Fatalf("Retry-After hint %v outside (0, %v]", wait, time.Duration(l.intervalNS))
+		}
+	}
+}
+
+// TestLimiterBurstThenSteadyState: a fresh bucket grants exactly burst
+// back-to-back tokens, then exactly one per interval.
+func TestLimiterBurstThenSteadyState(t *testing.T) {
+	clock := core.NewVirtualClock(time.Unix(0, 0))
+	l := newTenantLimiter(10, 3, clock) // interval 100ms, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("4th immediate token granted past burst")
+	}
+	if wait != 100*time.Millisecond {
+		t.Fatalf("wait = %v, want exactly 100ms", wait)
+	}
+	clock.Advance(99 * time.Millisecond)
+	if ok, wait := l.allow("a"); ok || wait != time.Millisecond {
+		t.Fatalf("at 99ms: (%v, %v), want refusal with exactly 1ms left", ok, wait)
+	}
+	clock.Advance(time.Millisecond)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("token refused at exactly one interval")
+	}
+	// Idle past the horizon: the sweep drops the bucket once it would be full.
+	clock.Advance(time.Hour)
+	l.mu.Lock()
+	l.pruneLocked(clock.Now())
+	l.mu.Unlock()
+	if l.size() != 0 {
+		t.Fatalf("idle bucket survived prune: %d live", l.size())
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"graphm/internal/core"
 	"graphm/internal/service"
 	"graphm/internal/slo"
+	"graphm/internal/storage"
 )
 
 // Config tunes the HTTP layer. The zero value is a usable daemon with rate
@@ -71,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = core.WallClock{}
 	}
+	if c.RatePerSec < 0 {
+		c.RatePerSec = 0 // negative means the same as zero: no rate limit
+	}
 	if c.Burst <= 0 {
 		c.Burst = c.RatePerSec
 		if c.Burst != float64(int64(c.Burst)) {
@@ -93,6 +97,7 @@ func (c Config) withDefaults() Config {
 // http.Handler; all methods are safe for concurrent use.
 type Server struct {
 	svc *service.Service
+	sys *core.System
 	cfg Config
 	mux *http.ServeMux
 
@@ -104,8 +109,10 @@ type Server struct {
 	waitSLO *slo.Window
 	runSLO  *slo.Window
 
-	mu       sync.Mutex
-	draining bool
+	mu        sync.Mutex
+	draining  bool
+	store     *storage.Store
+	recovered *RecoveredState
 
 	httpRequests    atomic.Uint64
 	httpErrors      atomic.Uint64
@@ -121,6 +128,7 @@ type Server struct {
 func New(sys *core.System, svcCfg service.Config, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
+		sys:     sys,
 		cfg:     cfg,
 		waitSLO: slo.NewWindow(cfg.SLOWindow, cfg.SLOBuckets, cfg.Clock),
 		runSLO:  slo.NewWindow(cfg.SLOWindow, cfg.SLOBuckets, cfg.Clock),
@@ -155,6 +163,8 @@ func New(sys *core.System, svcCfg service.Config, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleTicket)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("POST /v1/graph/edges", s.handleEvolveAdd)
+	mux.HandleFunc("DELETE /v1/graph/edges", s.handleEvolveRemove)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -209,6 +219,10 @@ type RecoveryState struct {
 	QueueWait slo.Summary `json:"queue_wait"`
 	Runtime   slo.Summary `json:"runtime"`
 
+	// Recovered reports what this process reconstructed at startup, when it
+	// started from a durable data directory.
+	Recovered *RecoveredState `json:"recovered,omitempty"`
+
 	Error string `json:"error,omitempty"`
 }
 
@@ -235,9 +249,15 @@ func (s *Server) Drain() RecoveryState {
 		Rounds:        stats.Rounds,
 		QueueWait:     s.waitSLO.Snapshot(),
 		Runtime:       s.runSLO.Snapshot(),
+		Recovered:     s.Recovered(),
 	}
 	if err != nil {
 		st.Error = err.Error()
+	}
+	// The drained state is a consistent cut — every ticket is terminal — so
+	// it is the natural final checkpoint before shutdown.
+	if _, ckErr := s.MaybeCheckpoint(true); ckErr != nil && st.Error == "" {
+		st.Error = ckErr.Error()
 	}
 	return st
 }
@@ -435,9 +455,10 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, struct {
-		Status   string `json:"status"`
-		Draining bool   `json:"draining"`
-	}{"ok", s.Draining()})
+		Status    string          `json:"status"`
+		Draining  bool            `json:"draining"`
+		Recovered *RecoveredState `json:"recovered,omitempty"`
+	}{"ok", s.Draining(), s.Recovered()})
 }
 
 // retryAfterSeconds rounds a wait up to whole seconds, minimum 1 (the

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+
+	"graphm/internal/storage"
+)
+
+// TicketLogger persists the ticket lifecycle for crash recovery. LogSubmit
+// must be durable before it returns — it runs under the service mutex,
+// before the submission is acknowledged, so an acked ticket is never lost
+// to a crash. LogTerminal is best-effort: losing an end record only makes
+// recovery re-run a finished job, which is safe (re-admitted jobs keep
+// their original IDs and seeds, so the re-run is deterministic).
+// *storage.Store implements the interface.
+type TicketLogger interface {
+	LogSubmit(id int, tenant, algo string, seed int64) error
+	LogTerminal(id int, status string)
+}
+
+// logTerminalLocked appends a best-effort end record for a ticket that just
+// turned terminal. Caller holds s.mu.
+func (s *Service) logTerminalLocked(id int, st Status) {
+	if s.cfg.TicketLog != nil {
+		s.cfg.TicketLog.LogTerminal(id, st.String())
+	}
+}
+
+// Restore re-admits the tickets recovered as pending from the ticket log,
+// preserving their original IDs and resolved seeds — job-private evolve
+// mutations restored from the checkpoint/WAL are keyed by job ID, and seeds
+// were derived and persisted at first submission, so the re-run jobs resolve
+// their pre-crash state and draw the same random roots. It also seeds the
+// service counters from the log so /metrics totals are continuous across
+// restarts, and advances the ID allocator past every ID the log ever
+// assigned (a recovered terminal ticket's ID must not be reissued).
+//
+// Call once, on a fresh service, before serving traffic. Pending tickets
+// whose algorithm no longer resolves are marked failed (and logged as such)
+// rather than aborting the whole recovery.
+func (s *Service) Restore(rec *storage.Recovery) ([]*Ticket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.snap.Submitted != 0 || s.nextID != 0 {
+		return nil, fmt.Errorf("service: Restore on a used service (%d submissions)", s.snap.Submitted)
+	}
+	s.snap.Submitted = rec.Counts.Submitted
+	s.snap.Completed = rec.Counts.Done
+	s.snap.Canceled = rec.Counts.Canceled
+	s.snap.Failed = rec.Counts.Failed
+	if rec.NextTicketID > 1 {
+		s.nextID = rec.NextTicketID - 1
+	}
+
+	var readmitted []*Ticket
+	for _, p := range rec.Pending {
+		prog, err := NewProgram(p.Algo)
+		if err != nil {
+			// The log names an algorithm this build doesn't know (e.g. a
+			// downgrade). Fail the ticket durably instead of wedging startup.
+			t := newTicket(p.ID, p.Tenant, p.Algo, nil, p.Seed)
+			t.status = StatusFailed
+			t.err = err
+			t.doneAt = s.cfg.Clock.Now()
+			close(t.done)
+			s.tickets[t.ID] = t
+			s.snap.Failed++
+			s.logTerminalLocked(t.ID, StatusFailed)
+			if s.cfg.OnTerminal != nil {
+				s.cfg.OnTerminal(t)
+			}
+			continue
+		}
+		t := newTicket(p.ID, p.Tenant, p.Algo, prog, p.Seed)
+		t.queuedAt = s.cfg.Clock.Now()
+		s.tickets[t.ID] = t
+		if _, seen := s.queues[p.Tenant]; !seen {
+			s.tenantOrder = append(s.tenantOrder, p.Tenant)
+		}
+		s.queues[p.Tenant] = append(s.queues[p.Tenant], t)
+		s.queued++
+		s.outstanding++
+		readmitted = append(readmitted, t)
+	}
+	if s.queued > s.snap.PeakQueued {
+		s.snap.PeakQueued = s.queued
+	}
+	s.admitLocked()
+	return readmitted, nil
+}

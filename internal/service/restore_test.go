@@ -1,0 +1,189 @@
+package service_test
+
+import (
+	"testing"
+
+	"graphm/internal/service"
+	"graphm/internal/storage"
+)
+
+// TestTicketLogAndRestore: submit a mix of finished and pending tickets
+// against a real ticket log, "crash" without closing, and restore into a
+// fresh service. Pending tickets must re-admit with their ORIGINAL IDs and
+// seeds (private graph state and random roots are keyed by them), counters
+// must be continuous, and the ID allocator must never reissue a logged ID.
+func TestTicketLogAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t, 200, 1200)
+	svc := service.New(sys, service.Config{Seed: 11, TicketLog: st})
+
+	// Tickets 1–3 run to completion, so both their submit and end records
+	// land in the log.
+	t1, err := svc.Submit(service.Request{Algo: "pagerank", Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 := t1.Wait(); st1 != service.StatusDone {
+		t.Fatalf("ticket 1 ended %v", st1)
+	}
+	t2, err := svc.Submit(service.Request{Algo: "wcc", Tenant: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := svc.Submit(service.Request{Algo: "bfs", Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2.Wait()
+	t3.Wait()
+	// Tickets 4 and 5 are the crash point: the service logged their submit
+	// records (durable, pre-ack) but died before their end records. Write
+	// those log lines directly so the pending set is deterministic — a live
+	// Submit would race its own async completion.
+	if err := st.LogSubmit(4, "b", "sssp", 44); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(5, "a", "pagerank", 55); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reread the directory without Drain or Close.
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counts.Submitted != 5 {
+		t.Fatalf("recovered %d submits, want 5", rec.Counts.Submitted)
+	}
+	if rec.NextTicketID != 6 {
+		t.Fatalf("NextTicketID = %d, want 6", rec.NextTicketID)
+	}
+	if rec.Counts.Done != 3 {
+		t.Fatalf("recovered %d done, want 3", rec.Counts.Done)
+	}
+	if len(rec.Pending) != 2 || rec.Pending[0].ID != 4 || rec.Pending[1].ID != 5 {
+		t.Fatalf("recovered pending = %+v, want tickets 4 and 5", rec.Pending)
+	}
+
+	sys2 := newSystem(t, 200, 1200)
+	svc2 := service.New(sys2, service.Config{Seed: 11})
+	readmitted, err := svc2.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readmitted) != len(rec.Pending) {
+		t.Fatalf("re-admitted %d tickets, want %d", len(readmitted), len(rec.Pending))
+	}
+	for i, rt := range readmitted {
+		if rt.ID != rec.Pending[i].ID {
+			t.Fatalf("re-admitted ticket %d has ID %d, want original %d", i, rt.ID, rec.Pending[i].ID)
+		}
+		if rt.Tenant != rec.Pending[i].Tenant || rt.Algo != rec.Pending[i].Algo {
+			t.Fatalf("re-admitted ticket %d = %s/%s, want %s/%s",
+				rt.ID, rt.Tenant, rt.Algo, rec.Pending[i].Tenant, rec.Pending[i].Algo)
+		}
+		if st := rt.Wait(); st != service.StatusDone {
+			t.Fatalf("re-admitted ticket %d ended %v: %v", rt.ID, st, rt.Err())
+		}
+	}
+	// Counter continuity: the restored snapshot starts from the log's totals.
+	snap := svc2.Snapshot()
+	if snap.Submitted != 5 {
+		t.Fatalf("restored Submitted = %d, want 5", snap.Submitted)
+	}
+	// A post-restore submission must get a never-before-issued ID.
+	t6, err := svc2.Submit(service.Request{Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t6.ID != 6 {
+		t.Fatalf("post-restore ticket ID = %d, want 6", t6.ID)
+	}
+	t6.Wait()
+	if err := svc2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreDeterministicSeeds: the seed persisted at first submission is
+// the seed the re-admitted ticket runs with — not a re-derivation that could
+// drift if service config changes between runs.
+func TestRestoreDeterministicSeeds(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(3, "a", "bfs", 987654321); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 1 || rec.Pending[0].Seed != 987654321 {
+		t.Fatalf("recovered pending = %+v", rec.Pending)
+	}
+	svc := service.New(newSystem(t, 200, 1200), service.Config{Seed: 999})
+	readmitted, err := svc.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readmitted) != 1 || readmitted[0].ID != 3 {
+		t.Fatalf("re-admitted = %+v", readmitted)
+	}
+	if st := readmitted[0].Wait(); st != service.StatusDone {
+		t.Fatalf("ticket ended %v", st)
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreUnknownAlgoFailsTicket: a pending ticket whose algorithm no
+// longer resolves is marked failed (durably) instead of wedging startup.
+func TestRestoreUnknownAlgoFailsTicket(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(1, "a", "no-such-algo", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(newSystem(t, 200, 1200), service.Config{})
+	readmitted, err := svc.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readmitted) != 0 {
+		t.Fatalf("re-admitted %d tickets, want 0", len(readmitted))
+	}
+	tk, ok := svc.Ticket(1)
+	if !ok || tk.Status() != service.StatusFailed || tk.Err() == nil {
+		t.Fatalf("ticket 1 = %v (ok=%v)", tk, ok)
+	}
+	if svc.Snapshot().Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", svc.Snapshot().Failed)
+	}
+}
+
+// TestRestoreOnUsedServiceRejected guards the one-shot contract.
+func TestRestoreOnUsedServiceRejected(t *testing.T) {
+	svc := service.New(newSystem(t, 200, 1200), service.Config{})
+	tk, err := svc.Submit(service.Request{Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Wait()
+	if _, err := svc.Restore(&storage.Recovery{}); err == nil {
+		t.Fatal("Restore on used service succeeded")
+	}
+}

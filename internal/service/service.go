@@ -78,6 +78,11 @@ type Config struct {
 	// failed). Same contract as OnAdmit: fast, no re-entry into the
 	// Service.
 	OnTerminal func(*Ticket)
+	// TicketLog, when set, persists the ticket lifecycle: Submit appends a
+	// durable submit record before acknowledging, and every terminal
+	// transition appends a best-effort end record. Recovery re-admits
+	// still-pending tickets through Restore.
+	TicketLog TicketLogger
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +194,15 @@ func (s *Service) Submit(req Request) (*Ticket, error) {
 	if seed == 0 {
 		seed = deriveSeed(s.cfg.Seed, s.nextID)
 	}
+	// The submit record (with the resolved seed) is durable before the
+	// caller sees the ticket: an acked submission survives kill -9, and its
+	// re-run draws the same seed.
+	if s.cfg.TicketLog != nil {
+		if err := s.cfg.TicketLog.LogSubmit(s.nextID, tenant, algo, seed); err != nil {
+			s.nextID-- // nothing else observed the ID
+			return nil, fmt.Errorf("service: ticket log: %w", err)
+		}
+	}
 	t := newTicket(s.nextID, tenant, algo, prog, seed)
 	t.queuedAt = s.cfg.Clock.Now()
 	s.tickets[t.ID] = t
@@ -226,6 +240,7 @@ func (s *Service) admitLocked() {
 			t.doneAt = s.cfg.Clock.Now()
 			t.mu.Unlock()
 			close(t.done)
+			s.logTerminalLocked(t.ID, StatusFailed)
 			if s.cfg.OnTerminal != nil {
 				s.cfg.OnTerminal(t)
 			}
@@ -358,6 +373,7 @@ func (s *Service) finish(t *Ticket) {
 	case StatusFailed:
 		s.snap.Failed++
 	}
+	s.logTerminalLocked(t.ID, final)
 	if s.cfg.OnTerminal != nil {
 		s.cfg.OnTerminal(t)
 	}
@@ -388,6 +404,7 @@ func (s *Service) Cancel(id int) error {
 		close(t.done)
 		s.snap.Canceled++
 		s.outstanding--
+		s.logTerminalLocked(t.ID, StatusCanceled)
 		if s.cfg.OnTerminal != nil {
 			s.cfg.OnTerminal(t)
 		}
@@ -510,8 +527,9 @@ func (s *Service) Shutdown() {
 		}
 		t.mu.Unlock()
 	}
-	if s.cfg.OnTerminal != nil {
-		for _, t := range terminal {
+	for _, t := range terminal {
+		s.logTerminalLocked(t.ID, StatusCanceled)
+		if s.cfg.OnTerminal != nil {
 			s.cfg.OnTerminal(t)
 		}
 	}

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphm/internal/graph"
+)
+
+func edgesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst {
+			return false
+		}
+		// NaN-safe float compare via bits.
+		if math.Float32bits(a[i].Weight) != math.Float32bits(b[i].Weight) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompressEdgesRoundTrip(t *testing.T) {
+	cases := [][]graph.Edge{
+		nil,
+		{},
+		{{Src: 0, Dst: 0}},
+		{{Src: 5, Dst: 9, Weight: 1.5}, {Src: 5, Dst: 2, Weight: 1.5}, {Src: 1, Dst: 7, Weight: -3}},
+		{{Src: 1 << 30, Dst: 0, Weight: float32(math.NaN())}, {Src: 0, Dst: 1 << 30}},
+	}
+	for i, edges := range cases {
+		got, err := DecompressEdges(CompressEdges(edges))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !edgesEqual(got, edges) {
+			t.Fatalf("case %d: round-trip mismatch: %v vs %v", i, got, edges)
+		}
+	}
+}
+
+func TestCompressEdgesRandomRoundTripAndRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := make([]graph.Edge, 5000)
+	src := uint32(0)
+	for i := range edges {
+		// Sorted-run shape like a grid bucket: slowly increasing src.
+		src += uint32(rng.Intn(3))
+		edges[i] = graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(rng.Intn(1 << 16))}
+	}
+	comp := CompressEdges(edges)
+	got, err := DecompressEdges(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !edgesEqual(got, edges) {
+		t.Fatal("random round-trip mismatch")
+	}
+	raw := len(edges) * graph.EdgeSize
+	if len(comp) >= raw {
+		t.Fatalf("compressed %d >= raw %d: delta coding should win on sorted runs", len(comp), raw)
+	}
+}
+
+func TestDecompressEdgesRejectsCorruption(t *testing.T) {
+	comp := CompressEdges([]graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}})
+	if _, err := DecompressEdges(comp[:len(comp)-1]); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	if _, err := DecompressEdges(append(append([]byte(nil), comp...), 0)); err == nil {
+		t.Fatal("trailing garbage decoded")
+	}
+	if _, err := DecompressEdges(nil); err == nil {
+		t.Fatal("empty payload decoded")
+	}
+}
+
+func testParts() map[int][]graph.Edge {
+	return map[int][]graph.Edge{
+		0: {{Src: 0, Dst: 1}, {Src: 0, Dst: 2, Weight: 2}},
+		3: {{Src: 9, Dst: 4, Weight: 0.5}},
+		7: {},
+	}
+}
+
+func partsEqual(a, b map[int][]graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for pid, ae := range a {
+		if !edgesEqual(ae, b[pid]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if ck, err := LatestCheckpoint(dir); err != nil || ck != nil {
+		t.Fatalf("empty dir: ck=%v err=%v", ck, err)
+	}
+	parts := testParts()
+	ovs := []JobOverride{
+		{JobID: 4, PartID: 0, Edges: []graph.Edge{{Src: 0, Dst: 9, Weight: 1}}},
+		{JobID: 11, PartID: 3, Edges: nil},
+	}
+	if err := WriteCheckpoint(dir, 2, CheckpointState{Version: 17, Partitions: parts, Overrides: ovs}, true); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint found")
+	}
+	if ck.WALSegment != 2 || ck.Version != 17 {
+		t.Fatalf("seg=%d version=%d, want 2/17", ck.WALSegment, ck.Version)
+	}
+	if !partsEqual(parts, ck.Partitions) {
+		t.Fatalf("partitions mismatch: %v vs %v", ck.Partitions, parts)
+	}
+	if len(ck.Overrides) != 2 {
+		t.Fatalf("overrides = %+v, want 2 entries", ck.Overrides)
+	}
+	for i, want := range ovs {
+		got := ck.Overrides[i]
+		if got.JobID != want.JobID || got.PartID != want.PartID || !edgesEqual(got.Edges, want.Edges) {
+			t.Fatalf("override %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if ck.CompressedBytes <= 0 || ck.RawBytes != 4*graph.EdgeSize {
+		t.Fatalf("sizes: raw=%d comp=%d", ck.RawBytes, ck.CompressedBytes)
+	}
+}
+
+func TestLatestCheckpointSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 1, CheckpointState{Version: 5, Partitions: testParts()}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, 4, CheckpointState{Version: 9, Partitions: testParts()}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest: recovery must fall back to the older valid one.
+	newest := filepath.Join(dir, checkpointName(4))
+	data, _ := os.ReadFile(newest)
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(newest, data, 0o644)
+
+	ck, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.WALSegment != 1 || ck.Version != 5 {
+		t.Fatalf("fallback ck = %+v, want seg 1 version 5", ck)
+	}
+}
+
+func TestRemoveCheckpointsBefore(t *testing.T) {
+	dir := t.TempDir()
+	for _, seg := range []int{1, 3, 6} {
+		if err := WriteCheckpoint(dir, seg, CheckpointState{Version: uint64(seg), Partitions: testParts()}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := RemoveCheckpointsBefore(dir, 6); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []int{1, 3} {
+		if _, err := os.Stat(filepath.Join(dir, checkpointName(seg))); !os.IsNotExist(err) {
+			t.Fatalf("checkpoint %d survived GC", seg)
+		}
+	}
+	ck, err := LatestCheckpoint(dir)
+	if err != nil || ck == nil || ck.WALSegment != 6 {
+		t.Fatalf("ck=%+v err=%v, want seg 6", ck, err)
+	}
+}

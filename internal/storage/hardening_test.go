@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"testing"
+
+	"graphm/internal/graph"
+)
+
+// TestMemoryOvercommitAllPinned pins every resident buffer and forces a load
+// past the budget: the pool must admit the load anyway (an OS cannot refuse
+// memory to running processes), count one overcommit, and keep Used exact.
+func TestMemoryOvercommitAllPinned(t *testing.T) {
+	d := NewDisk()
+	d.Write("a", make([]byte, 400))
+	d.Write("b", make([]byte, 400))
+	d.Write("c", make([]byte, 300))
+	m := NewMemory(d, 1000)
+
+	bufA, _, err := m.Load("a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, _, err := m.Load("b", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both buffers pinned; loading c (300 B) exceeds the 1000 B budget with
+	// no evictable victim.
+	bufC, _, err := m.Load("c", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Overcommits() != 1 {
+		t.Fatalf("overcommits = %d, want 1", m.Overcommits())
+	}
+	if m.Evictions() != 0 {
+		t.Fatalf("evictions = %d, want 0 (every victim was pinned)", m.Evictions())
+	}
+	if m.Used() != 1100 {
+		t.Fatalf("used = %d, want 1100 (admitted past budget)", m.Used())
+	}
+	if m.Peak() != 1100 {
+		t.Fatalf("peak = %d, want 1100", m.Peak())
+	}
+
+	// Releasing the pins makes the overflow evictable again: the next load
+	// evicts LRU-first instead of overcommitting.
+	bufA.Release()
+	bufB.Release()
+	bufC.Release()
+	d.Write("d", make([]byte, 600))
+	if _, _, err := m.Load("d", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Overcommits() != 1 {
+		t.Fatalf("overcommits = %d after release, want still 1", m.Overcommits())
+	}
+	if m.Evictions() == 0 {
+		t.Fatal("expected evictions once pins were released")
+	}
+	if m.Used() > 1000 {
+		t.Fatalf("used = %d, want within budget after evictions", m.Used())
+	}
+}
+
+// TestDiskWriteInvalidationAccounting regression-tests the page-cache
+// accounting bug where rewriting a cached blob with a different size
+// subtracted the NEW length from cacheUsed instead of the cached one.
+func TestDiskWriteInvalidationAccounting(t *testing.T) {
+	d := NewDisk()
+	d.SetPageCache(10000)
+	d.Write("x", make([]byte, 1000))
+	if _, _, err := d.ReadCached("x"); err != nil { // admits 1000 B to the cache
+		t.Fatal(err)
+	}
+	d.Write("x", make([]byte, 10)) // old code subtracted 10, leaking 990
+	if _, _, err := d.ReadCached("x"); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	used := d.cacheUsed
+	d.mu.Unlock()
+	if used != 10 {
+		t.Fatalf("cacheUsed = %d, want 10", used)
+	}
+}
+
+// TestDiskWriteSizedMetering checks reads of a compressed blob meter at the
+// transfer (compressed) size while callers still receive the raw bytes.
+func TestDiskWriteSizedMetering(t *testing.T) {
+	d := NewDisk()
+	raw := make([]byte, 1200)
+	d.WriteSized("p", raw, 300)
+	if got := d.WriteBytes(); got != 300 {
+		t.Fatalf("write bytes = %d, want 300", got)
+	}
+	if got := d.TransferSize("p"); got != 300 {
+		t.Fatalf("transfer size = %d, want 300", got)
+	}
+	if got := d.Size("p"); got != 1200 {
+		t.Fatalf("raw size = %d, want 1200", got)
+	}
+	blob, err := d.Read("p")
+	if err != nil || len(blob) != 1200 {
+		t.Fatalf("read: %v len=%d", err, len(blob))
+	}
+	if got := d.ReadBytes() - 0; got != 300 {
+		t.Fatalf("read bytes = %d, want 300", got)
+	}
+	d.ResetCounters()
+	if _, _, err := d.ReadCached("p"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ReadBytes(); got != 300 {
+		t.Fatalf("cached read bytes = %d, want 300", got)
+	}
+	// Plain Write resets the blob to raw metering.
+	d.Write("p", raw)
+	if got := d.TransferSize("p"); got != 1200 {
+		t.Fatalf("transfer after raw rewrite = %d, want 1200", got)
+	}
+}
+
+// TestCompressedGridMetersFewerBytes is the loads/IO story end to end: a
+// partition registered with its compressed transfer size streams fewer
+// metered bytes through the buffer pool than the raw registration, while
+// the decoded edges are identical.
+func TestCompressedGridMetersFewerBytes(t *testing.T) {
+	edges := make([]graph.Edge, 2000)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i / 4), Dst: graph.VertexID(i % 500)}
+	}
+	raw := graph.EncodeEdges(edges)
+	comp := CompressEdges(edges)
+	if len(comp) >= len(raw) {
+		t.Fatalf("compressed %d >= raw %d", len(comp), len(raw))
+	}
+
+	d := NewDisk()
+	d.WriteSized("part", raw, int64(len(comp)))
+	m := NewMemory(d, 1<<20)
+	d.ResetCounters()
+	buf, _, err := m.Load("part", "part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	got, err := graph.DecodeEdges(buf.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !edgesEqual(got, edges) {
+		t.Fatal("decoded edges differ from originals")
+	}
+	if d.ReadBytes() != uint64(len(comp)) {
+		t.Fatalf("metered %d bytes, want compressed size %d", d.ReadBytes(), len(comp))
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 )
 
@@ -165,14 +166,16 @@ func (m *Memory) Drop(key string) {
 }
 
 // ReserveJobData accounts bytes of job-specific data (rank arrays, frontiers)
-// against the memory budget. Negative deltas release the reservation.
+// against the memory budget. Negative deltas release the reservation;
+// releasing more than was reserved is a caller accounting bug and panics
+// (silently clamping hid the bug while corrupting Used/Peak).
 func (m *Memory) ReserveJobData(delta int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.jobBytes += delta
-	if m.jobBytes < 0 {
-		m.jobBytes = 0
+	if m.jobBytes+delta < 0 {
+		panic(fmt.Sprintf("storage: ReserveJobData(%d) released below zero (reserved %d)", delta, m.jobBytes))
 	}
+	m.jobBytes += delta
 	if m.used+m.jobBytes > m.peak {
 		m.peak = m.used + m.jobBytes
 	}

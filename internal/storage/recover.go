@@ -1,0 +1,448 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"graphm/internal/graph"
+)
+
+// Store is the durable face of a graph system's data directory:
+//
+//	<dir>/wal-%08d.log       batched evolve WAL (one record per atomic op)
+//	<dir>/checkpoint-%08d.ck compressed full-partition checkpoints
+//	<dir>/tickets.log        append-only text log of ticket lifecycle events
+//
+// Open replays checkpoint + WAL + ticket log into a Recovery that the daemon
+// uses to rebuild the snapshot store and re-admit in-flight tickets.
+type Store struct {
+	dir  string
+	opts StoreOptions
+	wal  *WAL
+
+	ticketMu sync.Mutex
+	ticketF  *os.File
+
+	ckMu          sync.Mutex
+	recordsSince  int
+	checkpointing bool
+}
+
+// StoreOptions tunes durability behavior.
+type StoreOptions struct {
+	// NoSync skips fsyncs (tests, benchmarks of the batching path alone).
+	NoSync bool
+	// CheckpointEveryRecords makes CheckpointDue report true after this many
+	// WAL records since the last checkpoint. Zero means the default (256);
+	// negative disables cadence-based checkpoints.
+	CheckpointEveryRecords int
+}
+
+func (o StoreOptions) cadence() int {
+	if o.CheckpointEveryRecords == 0 {
+		return 256
+	}
+	return o.CheckpointEveryRecords
+}
+
+// EvolveOp identifies which evolve operation a WAL record replays.
+type EvolveOp uint8
+
+const (
+	// EvolveAdd: global update appending edges (System.AddEdges).
+	EvolveAdd EvolveOp = iota + 1
+	// EvolveRemove: global update deleting the recorded edges (the concrete
+	// result of a RemoveEdges predicate scan).
+	EvolveRemove
+	// EvolveAddFor: job-private mutation appending edges.
+	EvolveAddFor
+	// EvolveRemoveFor: job-private mutation deleting the recorded edges.
+	EvolveRemoveFor
+)
+
+func (op EvolveOp) String() string {
+	switch op {
+	case EvolveAdd:
+		return "add"
+	case EvolveRemove:
+		return "remove"
+	case EvolveAddFor:
+		return "add-for"
+	case EvolveRemoveFor:
+		return "remove-for"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// EvolveRecord is one durable evolve operation. For the predicate-based
+// removals the record holds the concrete edge multiset the scan removed, so
+// replay needs no predicate and is deterministic by construction.
+type EvolveRecord struct {
+	Op    EvolveOp
+	JobID int // only for the *For ops
+	Edges []graph.Edge
+}
+
+// encodeEvolve serializes rec: op byte, zigzag-varint jobID, CompressEdges.
+func encodeEvolve(rec EvolveRecord) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	buf := []byte{byte(rec.Op)}
+	k := binary.PutVarint(scratch[:], int64(rec.JobID))
+	buf = append(buf, scratch[:k]...)
+	return append(buf, CompressEdges(rec.Edges)...)
+}
+
+func decodeEvolve(payload []byte) (EvolveRecord, error) {
+	if len(payload) < 2 {
+		return EvolveRecord{}, fmt.Errorf("storage: evolve record too short (%d bytes)", len(payload))
+	}
+	rec := EvolveRecord{Op: EvolveOp(payload[0])}
+	if rec.Op < EvolveAdd || rec.Op > EvolveRemoveFor {
+		return EvolveRecord{}, fmt.Errorf("storage: unknown evolve op %d", payload[0])
+	}
+	jobID, k := binary.Varint(payload[1:])
+	if k <= 0 {
+		return EvolveRecord{}, fmt.Errorf("storage: corrupt evolve job ID")
+	}
+	rec.JobID = int(jobID)
+	edges, err := DecompressEdges(payload[1+k:])
+	if err != nil {
+		return EvolveRecord{}, err
+	}
+	rec.Edges = edges
+	return rec, nil
+}
+
+// EvolveSink is what internal/core logs evolve operations to. A nil sink
+// (no -data-dir) keeps evolution purely in-memory, exactly as before.
+type EvolveSink interface {
+	// AppendEvolve queues one record; the returned commit blocks until it is
+	// durable. Calls must happen in installation order (core holds its lock
+	// across the call), but commits may be awaited concurrently.
+	AppendEvolve(rec EvolveRecord) (commit func() error, err error)
+}
+
+// PendingTicket is a submitted-but-not-terminal ticket reconstructed from
+// the ticket log, to be re-admitted with its ORIGINAL ID after recovery (the
+// ID keys job-private WAL mutations and the deterministic seed derivation).
+type PendingTicket struct {
+	ID     int
+	Tenant string
+	Algo   string
+	Seed   int64
+}
+
+// TicketCounts are lifetime counters recovered from the ticket log, used to
+// seed the service's Snapshot so /metrics survives a restart.
+type TicketCounts struct {
+	Submitted uint64
+	Done      uint64
+	Canceled  uint64
+	Failed    uint64
+}
+
+// Recovery is everything Open reconstructed from the data directory.
+type Recovery struct {
+	// HasCheckpoint reports whether a valid checkpoint was found;
+	// CheckpointVersion, Partitions and Overrides are meaningful only if so.
+	HasCheckpoint     bool
+	CheckpointVersion uint64
+	Partitions        map[int][]graph.Edge
+	// Overrides are pending jobs' private partition views captured by the
+	// checkpoint, to re-install before WAL replay.
+	Overrides []JobOverride
+
+	// Evolves are the WAL records to replay over the checkpoint, in append
+	// order. WALRecords == len(Evolves).
+	Evolves    []EvolveRecord
+	WALRecords int
+
+	// Pending tickets (submitted, no terminal line) plus recovered counters
+	// and the next ticket ID to assign.
+	Pending      []PendingTicket
+	Counts       TicketCounts
+	NextTicketID int
+}
+
+// Open opens (creating if needed) the data directory and replays its state.
+func Open(dir string, opts StoreOptions) (*Store, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{NextTicketID: 1}
+
+	ck, err := LatestCheckpoint(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fromSeg := 0
+	if ck != nil {
+		rec.HasCheckpoint = true
+		rec.CheckpointVersion = ck.Version
+		rec.Partitions = ck.Partitions
+		rec.Overrides = ck.Overrides
+		fromSeg = ck.WALSegment
+	}
+
+	var decodeErr error
+	n, err := ReadWALFrom(dir, fromSeg, func(payload []byte) {
+		if decodeErr != nil {
+			return
+		}
+		r, err := decodeEvolve(payload)
+		if err != nil {
+			decodeErr = err
+			return
+		}
+		rec.Evolves = append(rec.Evolves, r)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if decodeErr != nil {
+		return nil, nil, decodeErr
+	}
+	rec.WALRecords = n
+
+	wal, err := OpenWAL(dir, opts.NoSync)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if err := recoverTicketLog(filepath.Join(dir, "tickets.log"), rec); err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	ticketF, err := os.OpenFile(filepath.Join(dir, "tickets.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+
+	return &Store{dir: dir, opts: opts, wal: wal, ticketF: ticketF}, rec, nil
+}
+
+// recoverTicketLog parses the append-only ticket log, truncating any
+// unparseable tail (a crash mid-append). Lines are either
+// "submit <id> <tenant> <algo> <seed>" or "end <id> <status>"; tenant is
+// %q-quoted so arbitrary printable tenant keys round-trip.
+func recoverTicketLog(path string, rec *Recovery) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var order []int
+	byID := make(map[int]*submitted)
+	good := 0
+	for good < len(data) {
+		nl := bytes.IndexByte(data[good:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := string(data[good : good+nl])
+		if !parseTicketLine(line, byID, &order, &rec.Counts) {
+			break
+		}
+		good += nl + 1
+	}
+	if good != len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return err
+		}
+	}
+	maxID := 0
+	for _, id := range order {
+		s := byID[id]
+		if id > maxID {
+			maxID = id
+		}
+		if !s.terminal {
+			rec.Pending = append(rec.Pending, s.t)
+		}
+	}
+	if maxID >= rec.NextTicketID {
+		rec.NextTicketID = maxID + 1
+	}
+	return nil
+}
+
+// submitted tracks one ticket while parsing the log.
+type submitted struct {
+	t        PendingTicket
+	terminal bool
+}
+
+func parseTicketLine(line string, byID map[int]*submitted, order *[]int, counts *TicketCounts) bool {
+	switch {
+	case strings.HasPrefix(line, "submit "):
+		var id int
+		var tenant, algo string
+		var seed int64
+		if _, err := fmt.Sscanf(line, "submit %d %q %s %d", &id, &tenant, &algo, &seed); err != nil {
+			return false
+		}
+		if _, dup := byID[id]; dup {
+			return false
+		}
+		byID[id] = &submitted{t: PendingTicket{ID: id, Tenant: tenant, Algo: algo, Seed: seed}}
+		*order = append(*order, id)
+		counts.Submitted++
+	case strings.HasPrefix(line, "end "):
+		var id int
+		var status string
+		if _, err := fmt.Sscanf(line, "end %d %s", &id, &status); err != nil {
+			return false
+		}
+		s, ok := byID[id]
+		if !ok || s.terminal {
+			return false
+		}
+		s.terminal = true
+		switch status {
+		case "done":
+			counts.Done++
+		case "canceled":
+			counts.Canceled++
+		case "failed":
+			counts.Failed++
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// AppendEvolve implements EvolveSink over the WAL.
+func (s *Store) AppendEvolve(rec EvolveRecord) (func() error, error) {
+	commit, err := s.wal.Append(encodeEvolve(rec))
+	if err != nil {
+		return nil, err
+	}
+	s.ckMu.Lock()
+	s.recordsSince++
+	s.ckMu.Unlock()
+	return commit, nil
+}
+
+// CheckpointDue reports whether enough WAL records accumulated since the
+// last checkpoint to warrant a new one.
+func (s *Store) CheckpointDue() bool {
+	c := s.opts.cadence()
+	if c <= 0 {
+		return false
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	return !s.checkpointing && s.recordsSince >= c
+}
+
+// Checkpointer is the two-phase checkpoint protocol internal/core drives: a
+// fast begin (WAL rotation, called under the lock that orders evolve
+// appends, so no record slips between state capture and rotation) returning
+// a slow write func that persists the captured state lock-free.
+type Checkpointer interface {
+	BeginCheckpoint() (func(state CheckpointState) error, error)
+}
+
+// BeginCheckpoint rotates the WAL and returns a write func that persists the
+// captured state and garbage-collects covered segments and older
+// checkpoints. The write func runs without any core lock held.
+func (s *Store) BeginCheckpoint() (func(state CheckpointState) error, error) {
+	s.ckMu.Lock()
+	if s.checkpointing {
+		s.ckMu.Unlock()
+		return nil, fmt.Errorf("storage: checkpoint already in progress")
+	}
+	s.checkpointing = true
+	s.ckMu.Unlock()
+
+	seg, err := s.wal.Rotate()
+	if err != nil {
+		s.ckMu.Lock()
+		s.checkpointing = false
+		s.ckMu.Unlock()
+		return nil, err
+	}
+	return func(state CheckpointState) error {
+		err := WriteCheckpoint(s.dir, seg, state, s.opts.NoSync)
+		s.ckMu.Lock()
+		s.checkpointing = false
+		if err == nil {
+			s.recordsSince = 0
+		}
+		s.ckMu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := s.wal.RemoveSegmentsBefore(seg); err != nil {
+			return err
+		}
+		return RemoveCheckpointsBefore(s.dir, seg)
+	}, nil
+}
+
+// LogSubmit durably appends a ticket submission. It must return before the
+// submission is acknowledged to the client: a crash after ack must find the
+// ticket in the log.
+func (s *Store) LogSubmit(id int, tenant, algo string, seed int64) error {
+	s.ticketMu.Lock()
+	defer s.ticketMu.Unlock()
+	if _, err := fmt.Fprintf(s.ticketF, "submit %d %q %s %d\n", id, tenant, algo, seed); err != nil {
+		return err
+	}
+	if s.opts.NoSync {
+		return nil
+	}
+	return s.ticketF.Sync()
+}
+
+// LogTerminal appends a ticket's terminal transition. Best-effort (no sync):
+// losing a terminal line re-runs an idempotent job after a crash, which is
+// safe; losing a submit line would drop an acknowledged job, which is not.
+func (s *Store) LogTerminal(id int, status string) {
+	s.ticketMu.Lock()
+	fmt.Fprintf(s.ticketF, "end %d %s\n", id, status)
+	s.ticketMu.Unlock()
+}
+
+// TicketLogBytes returns the current ticket log contents (test hook for the
+// byte-identical-log differential).
+func (s *Store) TicketLogBytes() ([]byte, error) {
+	s.ticketMu.Lock()
+	defer s.ticketMu.Unlock()
+	return os.ReadFile(filepath.Join(s.dir, "tickets.log"))
+}
+
+// WALStats exposes the underlying log's group-commit counters.
+func (s *Store) WALStats() WALStats { return s.wal.Stats() }
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes and closes the WAL and ticket log.
+func (s *Store) Close() error {
+	err := s.wal.Close()
+	s.ticketMu.Lock()
+	if s.ticketF != nil {
+		if !s.opts.NoSync {
+			_ = s.ticketF.Sync()
+		}
+		if cerr := s.ticketF.Close(); err == nil {
+			err = cerr
+		}
+		s.ticketF = nil
+	}
+	s.ticketMu.Unlock()
+	return err
+}

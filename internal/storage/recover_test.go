@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphm/internal/graph"
+)
+
+var noSync = StoreOptions{NoSync: true}
+
+func TestStoreEvolveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, rec, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasCheckpoint || len(rec.Evolves) != 0 || len(rec.Pending) != 0 || rec.NextTicketID != 1 {
+		t.Fatalf("fresh dir recovery = %+v", rec)
+	}
+	want := []EvolveRecord{
+		{Op: EvolveAdd, Edges: []graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4, Weight: 2}}},
+		{Op: EvolveAddFor, JobID: 7, Edges: []graph.Edge{{Src: 5, Dst: 6}}},
+		{Op: EvolveRemove, Edges: []graph.Edge{{Src: 1, Dst: 2}}},
+		{Op: EvolveRemoveFor, JobID: 7, Edges: []graph.Edge{{Src: 5, Dst: 6}}},
+	}
+	for _, r := range want {
+		commit, err := st.AppendEvolve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	_, rec2, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.WALRecords != len(want) || len(rec2.Evolves) != len(want) {
+		t.Fatalf("recovered %d records, want %d", rec2.WALRecords, len(want))
+	}
+	for i, r := range want {
+		got := rec2.Evolves[i]
+		if got.Op != r.Op || got.JobID != r.JobID || !edgesEqual(got.Edges, r.Edges) {
+			t.Fatalf("record %d = %+v, want %+v", i, got, r)
+		}
+	}
+}
+
+func TestStoreCheckpointCoversWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit, _ := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: []graph.Edge{{Src: 1, Dst: 2}}})
+	commit()
+
+	write, err := st.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[int][]graph.Edge{0: {{Src: 1, Dst: 2}}}
+	ovs := []JobOverride{{JobID: 2, PartID: 0, Edges: []graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 5}}}}
+	if err := write(CheckpointState{Version: 3, Partitions: parts, Overrides: ovs}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint record: must be the only one replayed.
+	commit, _ = st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: []graph.Edge{{Src: 8, Dst: 9}}})
+	commit()
+	st.Close()
+
+	_, rec, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasCheckpoint || rec.CheckpointVersion != 3 {
+		t.Fatalf("recovery = %+v, want checkpoint v3", rec)
+	}
+	if !partsEqual(parts, rec.Partitions) {
+		t.Fatalf("partitions = %v, want %v", rec.Partitions, parts)
+	}
+	if len(rec.Overrides) != 1 || rec.Overrides[0].JobID != 2 || !edgesEqual(rec.Overrides[0].Edges, ovs[0].Edges) {
+		t.Fatalf("overrides = %+v, want %+v", rec.Overrides, ovs)
+	}
+	if len(rec.Evolves) != 1 || rec.Evolves[0].Edges[0].Src != 8 {
+		t.Fatalf("evolves = %+v, want the single post-checkpoint record", rec.Evolves)
+	}
+}
+
+func TestStoreCheckpointDueCadence(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, StoreOptions{NoSync: true, CheckpointEveryRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.CheckpointDue() {
+		t.Fatal("fresh store reports checkpoint due")
+	}
+	for i := 0; i < 2; i++ {
+		commit, _ := st.AppendEvolve(EvolveRecord{Op: EvolveAdd})
+		commit()
+	}
+	if !st.CheckpointDue() {
+		t.Fatal("checkpoint not due after cadence records")
+	}
+	write, err := st.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CheckpointDue() {
+		t.Fatal("checkpoint due while one is in progress")
+	}
+	if err := write(CheckpointState{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.CheckpointDue() {
+		t.Fatal("checkpoint due right after completing one")
+	}
+}
+
+func TestTicketLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(1, "tenant a", "pagerank", 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(2, "b", "wcc", 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(3, "b", "bfs", 33); err != nil {
+		t.Fatal(err)
+	}
+	st.LogTerminal(1, "done")
+	st.LogTerminal(3, "canceled")
+	st.Close()
+
+	// Crash mid-append: a torn half line must be truncated, not fatal.
+	f, _ := os.OpenFile(filepath.Join(dir, "tickets.log"), os.O_WRONLY|os.O_APPEND, 0)
+	f.WriteString("submit 4 \"c")
+	f.Close()
+
+	_, rec, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counts.Submitted != 3 || rec.Counts.Done != 1 || rec.Counts.Canceled != 1 || rec.Counts.Failed != 0 {
+		t.Fatalf("counts = %+v", rec.Counts)
+	}
+	if len(rec.Pending) != 1 {
+		t.Fatalf("pending = %+v, want exactly ticket 2", rec.Pending)
+	}
+	p := rec.Pending[0]
+	if p.ID != 2 || p.Tenant != "b" || p.Algo != "wcc" || p.Seed != 22 {
+		t.Fatalf("pending = %+v", p)
+	}
+	if rec.NextTicketID != 4 {
+		t.Fatalf("next ticket ID = %d, want 4", rec.NextTicketID)
+	}
+
+	// The truncated tail is gone from the file itself.
+	data, _ := os.ReadFile(filepath.Join(dir, "tickets.log"))
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatalf("ticket log not truncated to whole lines: %q", data)
+	}
+}
+
+func TestStoreTicketLogBytesStable(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.LogSubmit(1, "t", "wcc", 5)
+	st.LogTerminal(1, "done")
+	before, err := st.TicketLogBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Reopen must not rewrite any already-durable line.
+	st2, _, err := Open(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	after, err := st2.TicketLogBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("ticket log changed across restart:\n%q\nvs\n%q", before, after)
+	}
+}

@@ -177,11 +177,17 @@ func TestJobDataAccounting(t *testing.T) {
 	if m.Peak() != 500 {
 		t.Fatalf("peak = %d, want 500", m.Peak())
 	}
-	// Over-release clamps to zero rather than going negative.
+	// Releasing more than was reserved is a caller accounting bug: it must
+	// panic (a silent clamp would let Used/Peak drift from reality).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on release-more-than-reserved")
+		}
+		if m.Used() != 0 {
+			t.Fatalf("used = %d after failed over-release, want 0", m.Used())
+		}
+	}()
 	m.ReserveJobData(-100)
-	if m.Used() != 0 {
-		t.Fatalf("used = %d after over-release, want 0", m.Used())
-	}
 }
 
 func TestAllocAddrAlignedAndDisjoint(t *testing.T) {
