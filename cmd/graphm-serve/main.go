@@ -40,6 +40,7 @@ import (
 
 	"graphm/internal/bench"
 	"graphm/internal/core"
+	"graphm/internal/faultfs"
 	"graphm/internal/memsim"
 	"graphm/internal/profiles"
 	"graphm/internal/server"
@@ -72,6 +73,8 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "daemon mode: durable storage directory (WAL + checkpoints + ticket log); empty = in-memory only")
 		ckEvery   = flag.Int("checkpoint-every", 0, "daemon mode: write a checkpoint every N WAL records (0 = default 256, negative = never)")
 		noFsync   = flag.Bool("no-fsync", false, "daemon mode: skip fsync on the WAL and ticket log (faster, loses the power-failure guarantee)")
+		faultSch  = flag.String("fault-schedule", "", "daemon mode, DEVELOPMENT ONLY: inject storage faults per this schedule (comma-separated op:kind[:path=sub][:after=N][:count=M][:p=F][:delay=D] rules; see internal/faultfs)")
+		faultSeed = flag.Int64("fault-seed", 1, "daemon mode: RNG seed for probabilistic -fault-schedule rules")
 	)
 	flag.Parse()
 	if *listen == "" && (*nJobs <= 0 || *rate <= 0 || *tenants <= 0) {
@@ -118,9 +121,19 @@ func main() {
 		var store *storage.Store
 		var recovery *storage.Recovery
 		if *dataDir != "" {
+			var fsys faultfs.FS
+			if *faultSch != "" {
+				sched, err := faultfs.ParseSchedule(*faultSch)
+				if err != nil {
+					fatal(fmt.Errorf("-fault-schedule: %w", err))
+				}
+				fmt.Fprintf(os.Stderr, "graphm-serve: FAULT INJECTION ARMED (seed %d): %s\n", *faultSeed, sched)
+				fsys = faultfs.New(faultfs.OS{}, sched, rand.New(rand.NewSource(*faultSeed)))
+			}
 			store, recovery, err = storage.Open(*dataDir, storage.StoreOptions{
 				NoSync:                 *noFsync,
 				CheckpointEveryRecords: *ckEvery,
+				FS:                     fsys,
 			})
 			if err != nil {
 				fatal(err)
@@ -234,8 +247,10 @@ func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr 
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	// Housekeeping: fold the WAL into a checkpoint whenever the record
-	// cadence comes due, so recovery replay stays short and old segments
-	// are garbage-collected.
+	// cadence comes due (so recovery replay stays short and old segments are
+	// garbage-collected), and, while the daemon sits in degraded read-only
+	// mode, probe the durable path each tick so a healed disk re-arms writes
+	// without operator intervention.
 	ckStop := make(chan struct{})
 	if store != nil {
 		go func() {
@@ -246,6 +261,14 @@ func runDaemon(sys *core.System, svcCfg service.Config, cfg server.Config, addr 
 				case <-ckStop:
 					return
 				case <-tick.C:
+					if degraded, cause, detail := srv.Degraded(); degraded {
+						if srv.ProbeRecovery() {
+							fmt.Fprintf(os.Stderr, "graphm-serve: durable path recovered (was degraded: %s)\n", cause)
+						} else {
+							fmt.Fprintf(os.Stderr, "graphm-serve: degraded (%s): %s\n", cause, detail)
+						}
+						continue
+					}
 					if _, err := srv.MaybeCheckpoint(false); err != nil {
 						fmt.Fprintf(os.Stderr, "graphm-serve: checkpoint: %v\n", err)
 					}

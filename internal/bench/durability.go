@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphm/internal/core"
+	"graphm/internal/faultfs"
 	"graphm/internal/graph"
 	"graphm/internal/scenario"
 	"graphm/internal/storage"
@@ -217,7 +218,7 @@ func durWALMicro(writers, opsPer int) (time.Duration, storage.WALStats, error) {
 		return 0, stats, err
 	}
 	defer os.RemoveAll(dir)
-	w, err := storage.OpenWAL(dir, false)
+	w, err := storage.OpenWAL(dir, storage.WALOptions{})
 	if err != nil {
 		return 0, stats, err
 	}
@@ -339,7 +340,7 @@ func durCheckpointRecovery() (ck *storage.CheckpointData, replayed int, identica
 		return nil, 0, false, err
 	}
 	defer st2.Close()
-	ck, err = storage.LatestCheckpoint(dir)
+	ck, err = storage.LatestCheckpoint(faultfs.OS{}, dir)
 	if err != nil || ck == nil {
 		return nil, 0, false, fmt.Errorf("durability: checkpoint not recovered: %v", err)
 	}

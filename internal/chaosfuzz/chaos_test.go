@@ -1,0 +1,350 @@
+package chaosfuzz
+
+// The service-level chaos fuzzer: seeded script generation over the full
+// daemon stack (admission service + durable store + fault injector +
+// crash/restart), the cross-run differential oracles, counterexample
+// minimization, and the checked-in corpus replayed as a regression test.
+//
+// Corpus workflow (mirrors internal/scenario): when
+// TestChaosDifferentialScripts (or the native FuzzGeneratedChaosScript
+// target) finds a violation, it minimizes the script and writes the
+// encoding to testdata/failures/; commit the file under testdata/corpus/
+// (any name ending in .chaos) once the underlying bug is understood, so the
+// regression replays forever.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphm/internal/graph"
+	"graphm/internal/scenario"
+)
+
+// chaosScripts returns how many generated scripts the differential test
+// replays: GRAPHM_CHAOS_SCRIPTS when set (CI smoke pins a small number;
+// the nightly soak cranks it to 200+), else 25, scaled down under -short.
+func chaosScripts(t *testing.T) int {
+	if v := os.Getenv("GRAPHM_CHAOS_SCRIPTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad GRAPHM_CHAOS_SCRIPTS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 6
+	}
+	return 25
+}
+
+// chaosGenOptions pins the env recipe shared by every generated script and
+// derives the valid evolve-source domain from the actual generated graph.
+func chaosGenOptions(t testing.TB) GenOptions {
+	t.Helper()
+	o := GenOptions{EnvName: "chaos", NumV: 300, NumE: 1800, Parts: 3, GraphSeed: 11}
+	_, g, err := scenario.GenEnv(o.EnvName, o.NumV, o.NumE, o.Parts, o.GraphSeed, envLLCBytes, envMemBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Sources = SortedSources(map[int][]graph.Edge{0: g.Edges})
+	if len(o.Sources) == 0 {
+		t.Fatal("generated graph has no edge sources")
+	}
+	return o
+}
+
+// evidence is the versioned JSON artifact a soak emits (GRAPHM_CHAOS_EVIDENCE
+// names the output path). It is a pure function of the seed range, so two
+// soaks over the same build and seeds produce identical bytes.
+type evidence struct {
+	FormatVersion int      `json:"format_version"`
+	Scripts       int      `json:"scripts"`
+	SeedStart     int      `json:"seed_start"`
+	SeedEnd       int      `json:"seed_end"` // exclusive
+	Totals        RunStats `json:"totals"`
+}
+
+// TestChaosDifferentialScripts is the fuzzer's main loop: generate N valid
+// chaos scripts from fixed seeds, run each twice against a real stack, and
+// apply the oracles — no acked record lost, byte-identical ticket logs,
+// bit-identical recovered state. Seeds are fixed (seed i is script i) so
+// failures reproduce exactly; violations are minimized into corpus-ready
+// counterexamples.
+func TestChaosDifferentialScripts(t *testing.T) {
+	opts := chaosGenOptions(t)
+	n := chaosScripts(t)
+	var totals RunStats
+	for seed := 0; seed < n; seed++ {
+		script, err := Generate(rand.New(rand.NewSource(int64(seed))), opts)
+		if err != nil {
+			t.Fatalf("seed %d: generator: %v", seed, err)
+		}
+		stats, err := CheckStats(script, filepath.Join(t.TempDir(), fmt.Sprintf("seed%d", seed)))
+		totals.add(stats)
+		if err != nil {
+			reportChaosCounterexample(t, seed, script, err)
+		}
+	}
+	t.Logf("chaos soak over %d scripts: %+v", n, totals)
+	if path := os.Getenv("GRAPHM_CHAOS_EVIDENCE"); path != "" {
+		ev := evidence{FormatVersion: 1, Scripts: n, SeedStart: 0, SeedEnd: n, Totals: totals}
+		data, err := json.MarshalIndent(ev, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("writing evidence artifact: %v", err)
+		}
+		t.Logf("evidence artifact written to %s", path)
+	}
+}
+
+// reportChaosCounterexample minimizes a failing script and fails the test
+// with the encoded result plus where it was written.
+func reportChaosCounterexample(t *testing.T, seed int, script Script, err error) {
+	t.Helper()
+	min := Minimize(script, func(cand Script) bool {
+		return Check(cand, filepath.Join(t.TempDir(), "min")) != nil
+	})
+	finalErr := Check(min, filepath.Join(t.TempDir(), "final"))
+	enc := min.Encode()
+	dir := filepath.Join("testdata", "failures")
+	path := filepath.Join(dir, fmt.Sprintf("seed%d.chaos", seed))
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr == nil {
+		_ = os.WriteFile(path, []byte(enc), 0o644)
+	}
+	t.Fatalf("seed %d violated the chaos oracles: %v\nminimized (%v):\n%s\nwritten to %s — move under testdata/corpus/ to pin the regression",
+		seed, err, finalErr, enc, path)
+}
+
+// TestChaosCorpusRegression replays every checked-in corpus script. The
+// corpus is where minimized counterexamples live once fixed, plus seed
+// scripts that pin each op kind against the full stack.
+func TestChaosCorpusRegression(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("corpus is empty — the seed scripts should be checked in")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			script, err := Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(script, t.TempDir()); err != nil {
+				t.Fatalf("corpus regression: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosGenerateDeterministicAndValid: the generator is a pure function
+// of its RNG, and across many seeds every script it emits passes Validate —
+// including the fault/crash invariant the oracles rely on.
+func TestChaosGenerateDeterministicAndValid(t *testing.T) {
+	opts := chaosGenOptions(t)
+	a, err := Generate(rand.New(rand.NewSource(12)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rand.New(rand.NewSource(12)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Encode() != b.Encode() {
+		t.Fatal("same-seed generation differs")
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		s, err := Generate(rand.New(rand.NewSource(seed)), opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid script: %v\n%s", seed, err, s.Encode())
+		}
+		armed := false
+		for i, op := range s.Ops {
+			switch op.Kind {
+			case OpFault:
+				armed = true
+			case OpClearFault:
+				armed = false
+			case OpCrash:
+				if armed {
+					t.Fatalf("seed %d: op %d crashes under an armed fault", seed, i)
+				}
+			}
+		}
+		if armed {
+			t.Fatalf("seed %d: script ends armed", seed)
+		}
+	}
+}
+
+// TestChaosCodecRoundTrip: Encode/Decode is lossless for generated scripts
+// of every shape.
+func TestChaosCodecRoundTrip(t *testing.T) {
+	opts := chaosGenOptions(t)
+	for seed := int64(0); seed < 50; seed++ {
+		s, err := Generate(rand.New(rand.NewSource(seed)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(strings.NewReader(s.Encode()))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v\n%s", seed, err, s.Encode())
+		}
+		if len(dec.Ops) == 0 {
+			dec.Ops = nil
+		}
+		if !reflect.DeepEqual(s, dec) {
+			t.Fatalf("seed %d: round trip changed the script:\n%+v\nvs\n%+v", seed, s, dec)
+		}
+	}
+}
+
+// TestChaosDecodeRejectsGarbage covers the codec's failure modes so a
+// corrupted corpus file fails loudly.
+func TestChaosDecodeRejectsGarbage(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"bad header", "graphm-chaos v9\n", "unsupported header"},
+		{"unknown directive", "graphm-chaos v1\nbogus 1\n", "unknown directive"},
+		{"unknown op", "graphm-chaos v1\nenv name=x v=10 e=10 p=2 gseed=1\ncfg inflight=2 queuecap=2\nop explode\n", "unknown op kind"},
+		{"bad edge", "graphm-chaos v1\nenv name=x v=10 e=10 p=2 gseed=1\ncfg inflight=2 queuecap=2\nop add edges=xx\n", "not src:dst:weight"},
+		{"incomplete", "graphm-chaos v1\nenv name=x v=10 e=10 p=2 gseed=1\n", "incomplete"},
+		{"armed at end", "graphm-chaos v1\nenv name=x v=10 e=10 p=2 gseed=1\ncfg inflight=2 queuecap=2\nop fault sched=sync:fail:count=1\n", "ends with a fault schedule armed"},
+		{"crash while armed", "graphm-chaos v1\nenv name=x v=10 e=10 p=2 gseed=1\ncfg inflight=2 queuecap=2\nop fault sched=sync:fail:count=1\nop crash\nop clearfault\n", "fault schedule still armed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestChaosMinimizeShrinksToCulprit drives the minimizer with a synthetic
+// predicate — only the crash op matters — and checks it sheds everything
+// else while keeping the script valid.
+func TestChaosMinimizeShrinksToCulprit(t *testing.T) {
+	opts := chaosGenOptions(t)
+	var script Script
+	for seed := int64(0); ; seed++ {
+		if seed > 500 {
+			t.Fatal("no generated script had a crash plus material to shed")
+		}
+		s, err := Generate(rand.New(rand.NewSource(seed)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashes := 0
+		for _, op := range s.Ops {
+			if op.Kind == OpCrash {
+				crashes++
+			}
+		}
+		if crashes >= 1 && len(s.Ops) >= 8 {
+			script = s
+			break
+		}
+	}
+	hasCrash := func(s Script) bool {
+		for _, op := range s.Ops {
+			if op.Kind == OpCrash {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(script, hasCrash)
+	if len(min.Ops) != 1 || min.Ops[0].Kind != OpCrash {
+		t.Fatalf("minimizer left %d ops (want exactly the crash): %+v", len(min.Ops), min.Ops)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized script invalid: %v", err)
+	}
+	// The minimized script must still run clean end to end.
+	if err := Check(min, t.TempDir()); err != nil {
+		t.Fatalf("minimized script fails the oracles: %v", err)
+	}
+}
+
+// TestRunSingleScriptOracles sanity-checks one handwritten script's result
+// shape: acked submissions appear in the stats and the log, digests are
+// populated and agree, and a crash plus re-submission survives the oracles.
+func TestRunSingleScriptOracles(t *testing.T) {
+	opts := chaosGenOptions(t)
+	src := opts.Sources[0]
+	script := Script{
+		EnvName: opts.EnvName, NumV: opts.NumV, NumE: opts.NumE,
+		Parts: opts.Parts, GraphSeed: opts.GraphSeed,
+		MaxInFlight: 2, QueueCap: 2,
+		Ops: []Op{
+			{Kind: OpSubmit, Tenant: "t0", Algo: "pagerank", Seed: 7},
+			{Kind: OpSettle},
+			{Kind: OpRelease, N: 1},
+			{Kind: OpAdd, Edges: []graph.Edge{{Src: src, Dst: 1, Weight: 2}}},
+			{Kind: OpCheckpoint},
+			{Kind: OpRemove, Src: src},
+			{Kind: OpCrash},
+			{Kind: OpSubmit, Tenant: "t1", Algo: "bfs", Seed: 9},
+			{Kind: OpSettle},
+		},
+	}
+	res, err := Run(script, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Stats.SubmitsAcked < 2 || res.Stats.Crashes != 1 || res.Stats.Checkpoints != 1 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+	if res.RecoveredDigest == "" || res.RecoveredDigest != res.ExpectedDigest {
+		t.Fatalf("digests: recovered %q expected %q", res.RecoveredDigest, res.ExpectedDigest)
+	}
+	if !strings.Contains(string(res.TicketLog), "submit") {
+		t.Fatalf("ticket log empty or malformed:\n%s", res.TicketLog)
+	}
+}
+
+// FuzzGeneratedChaosScript is the native fuzz entry point: go's fuzzer
+// mutates the generator seed, and every derived script must pass the full
+// chaos differential. Run locally or nightly with
+//
+//	go test ./internal/chaosfuzz -fuzz FuzzGeneratedChaosScript -fuzztime 60s
+func FuzzGeneratedChaosScript(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(6))
+	opts := chaosGenOptions(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		script, err := Generate(rand.New(rand.NewSource(seed)), opts)
+		if err != nil {
+			t.Fatalf("generator rejected its own options: %v", err)
+		}
+		if err := Check(script, t.TempDir()); err != nil {
+			min := Minimize(script, func(cand Script) bool {
+				return Check(cand, filepath.Join(t.TempDir(), "min")) != nil
+			})
+			t.Fatalf("seed %d violated the chaos oracles: %v\nminimized:\n%s", seed, err, min.Encode())
+		}
+	})
+}

@@ -1,0 +1,793 @@
+package chaosfuzz
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/faultfs"
+	"graphm/internal/graph"
+	"graphm/internal/scenario"
+	"graphm/internal/service"
+	"graphm/internal/storage"
+)
+
+const (
+	envLLCBytes  = 32 << 10
+	envMemBudget = 64 << 20
+	settleWait   = 30 * time.Second
+)
+
+// RunStats aggregates what one script execution exercised — the evidence
+// artifact sums them across a soak.
+type RunStats struct {
+	SubmitsAcked   int    `json:"submits_acked"`
+	SubmitsRefused int    `json:"submits_refused"`
+	EvolvesAcked   int    `json:"evolves_acked"`
+	EvolvesRefused int    `json:"evolves_refused"`
+	Cancels        int    `json:"cancels"`
+	Crashes        int    `json:"crashes"`
+	Checkpoints    int    `json:"checkpoints"`
+	FaultsInjected uint64 `json:"faults_injected"`
+}
+
+func (s *RunStats) add(o RunStats) {
+	s.SubmitsAcked += o.SubmitsAcked
+	s.SubmitsRefused += o.SubmitsRefused
+	s.EvolvesAcked += o.EvolvesAcked
+	s.EvolvesRefused += o.EvolvesRefused
+	s.Cancels += o.Cancels
+	s.Crashes += o.Crashes
+	s.Checkpoints += o.Checkpoints
+	s.FaultsInjected += o.FaultsInjected
+}
+
+// RunResult is one script execution's oracle-relevant output.
+type RunResult struct {
+	// TicketLog is the final on-disk ticket log — byte-compared across runs.
+	TicketLog []byte
+	// RecoveredDigest hashes the graph state a fresh process recovers from
+	// the data directory; ExpectedDigest hashes a pure replay of the durable
+	// record model. The two must match within a run and across runs.
+	RecoveredDigest string
+	ExpectedDigest  string
+	// Violations are oracle failures observed during or after the run.
+	Violations []string
+	Stats      RunStats
+}
+
+// ackedSubmit is one acknowledged submission (LogSubmit durable before ack).
+type ackedSubmit struct {
+	ID     int
+	Tenant string
+	Algo   string
+}
+
+// evModel tracks what must be durable: durBase is the record prefix folded
+// by the last successful checkpoint (including records whose commit failed —
+// a failed commit still mutates memory, and a checkpoint folds memory);
+// durTail is the acked records WAL-appended since. A crash discards
+// unacknowledged memory, so the model's replay basis becomes durBase+durTail.
+type evModel struct {
+	mem     []storage.EvolveRecord // records applied to current memory, in order
+	durBase []storage.EvolveRecord
+	durTail []storage.EvolveRecord
+}
+
+func (m *evModel) applied(rec storage.EvolveRecord) { m.mem = append(m.mem, rec) }
+func (m *evModel) acked(rec storage.EvolveRecord)   { m.durTail = append(m.durTail, rec) }
+
+func (m *evModel) checkpointed() {
+	m.durBase = append([]storage.EvolveRecord(nil), m.mem...)
+	m.durTail = nil
+}
+
+func (m *evModel) crashed() {
+	m.mem = append(append([]storage.EvolveRecord(nil), m.durBase...), m.durTail...)
+}
+
+func (m *evModel) durable() []storage.EvolveRecord {
+	return append(append([]storage.EvolveRecord(nil), m.durBase...), m.durTail...)
+}
+
+// finishGate parks every driver goroutine until the script releases it, so
+// slot frees — and therefore admission, queue-full and cancel outcomes —
+// happen only at script-chosen points.
+type finishGate struct {
+	mu     sync.Mutex
+	bypass bool
+	parked map[int]chan struct{}
+}
+
+func newFinishGate() *finishGate {
+	return &finishGate{parked: make(map[int]chan struct{})}
+}
+
+func (g *finishGate) gate(t *service.Ticket) {
+	g.mu.Lock()
+	if g.bypass {
+		g.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	g.parked[t.ID] = ch
+	g.mu.Unlock()
+	<-ch
+}
+
+func (g *finishGate) parkedIDs() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := make([]int, 0, len(g.parked))
+	for id := range g.parked {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (g *finishGate) release(id int) bool {
+	g.mu.Lock()
+	ch, ok := g.parked[id]
+	if ok {
+		delete(g.parked, id)
+	}
+	g.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+	return ok
+}
+
+// releaseAll opens the gate permanently (drain/crash teardown): drivers
+// already parked are released and future arrivals pass straight through.
+func (g *finishGate) releaseAll() {
+	g.mu.Lock()
+	g.bypass = true
+	chans := make([]chan struct{}, 0, len(g.parked))
+	for id, ch := range g.parked {
+		chans = append(chans, ch)
+		delete(g.parked, id)
+	}
+	g.mu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// rearm resets the gate for a restarted stack.
+func (g *finishGate) rearm() {
+	g.mu.Lock()
+	g.bypass = false
+	g.parked = make(map[int]chan struct{})
+	g.mu.Unlock()
+}
+
+// gatedLog is the service's TicketLogger: submit records pass straight to
+// the store (they must be durable before the ack), terminal records are
+// buffered and flushed in ticket-ID order at script-controlled quiescent
+// points, making the on-disk byte stream a pure function of the script.
+// Losing buffered terminals at a crash is within the terminal records'
+// best-effort contract — recovery just re-runs those jobs.
+type gatedLog struct {
+	mu  sync.Mutex
+	st  *storage.Store
+	buf map[int]string // id -> terminal status
+}
+
+func (g *gatedLog) LogSubmit(id int, tenant, algo string, seed int64) error {
+	g.mu.Lock()
+	st := g.st
+	g.mu.Unlock()
+	return st.LogSubmit(id, tenant, algo, seed)
+}
+
+func (g *gatedLog) LogTerminal(id int, status string) {
+	g.mu.Lock()
+	g.buf[id] = status
+	g.mu.Unlock()
+}
+
+// flush writes buffered terminal lines in ID order and returns the IDs.
+func (g *gatedLog) flush() []int {
+	g.mu.Lock()
+	st := g.st
+	ids := make([]int, 0, len(g.buf))
+	for id := range g.buf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	statuses := make([]string, len(ids))
+	for i, id := range ids {
+		statuses[i] = g.buf[id]
+	}
+	g.buf = make(map[int]string)
+	g.mu.Unlock()
+	for i, id := range ids {
+		st.LogTerminal(id, statuses[i])
+	}
+	return ids
+}
+
+func (g *gatedLog) dropBuffer() {
+	g.mu.Lock()
+	g.buf = make(map[int]string)
+	g.mu.Unlock()
+}
+
+func (g *gatedLog) swap(st *storage.Store) {
+	g.mu.Lock()
+	g.st = st
+	g.mu.Unlock()
+}
+
+// skewClock is a manually jumped clock: timestamps are a pure function of
+// the script, and negative jumps exercise clock-skew robustness.
+type skewClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *skewClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *skewClock) Jump(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// recordingSink wraps the store's EvolveSink to keep the durable-record
+// model in step: every record that reaches the sink has already mutated
+// memory (applied), and a record is acked only once its commit resolves.
+// All calls happen on the script thread (core awaits each commit before the
+// evolve call returns), so the model needs no locking of its own.
+type recordingSink struct {
+	runner *runner
+}
+
+func (rs *recordingSink) AppendEvolve(rec storage.EvolveRecord) (func() error, error) {
+	r := rs.runner
+	r.model.applied(rec)
+	commit, err := r.st.AppendEvolve(rec)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		if err := commit(); err != nil {
+			return err
+		}
+		r.model.acked(rec)
+		return nil
+	}, nil
+}
+
+// runner executes one script against a live service+storage stack.
+type runner struct {
+	script Script
+	dir    string
+
+	inj   *faultfs.Injector
+	st    *storage.Store
+	sys   *core.System
+	svc   *service.Service
+	gate  *finishGate
+	tlog  *gatedLog
+	clock *skewClock
+	model evModel
+
+	acked      []ackedSubmit
+	live       map[int]*service.Ticket
+	violations []string
+	stats      RunStats
+}
+
+func (r *runner) violate(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// Run executes the script in dir (which must be empty) and returns the
+// oracle-relevant result. The returned error is a harness failure (cannot
+// build the environment); oracle failures land in RunResult.Violations.
+func Run(script Script, dir string) (RunResult, error) {
+	if err := script.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	r := &runner{
+		script: script,
+		dir:    dir,
+		inj:    faultfs.New(faultfs.OS{}, nil, nil),
+		gate:   newFinishGate(),
+		clock:  &skewClock{now: time.Unix(1_700_000_000, 0)},
+		live:   make(map[int]*service.Ticket),
+	}
+	r.tlog = &gatedLog{buf: make(map[int]string)}
+	if err := r.boot(); err != nil {
+		return RunResult{}, err
+	}
+	for i, op := range script.Ops {
+		if err := r.exec(i, op); err != nil {
+			return RunResult{}, err
+		}
+	}
+	r.finalize()
+	res := RunResult{
+		Violations: r.violations,
+		Stats:      r.stats,
+	}
+	res.Stats.FaultsInjected = r.inj.Stats().TotalInjected()
+	logBytes, err := os.ReadFile(filepath.Join(dir, "tickets.log"))
+	if err != nil && !os.IsNotExist(err) {
+		return RunResult{}, err
+	}
+	res.TicketLog = logBytes
+	r.verify(&res)
+	return res, nil
+}
+
+// newSystem builds a fresh system over the script's (deterministic)
+// environment recipe.
+func (r *runner) newSystem() (*core.System, error) {
+	env, _, err := scenario.GenEnv(r.script.EnvName, r.script.NumV, r.script.NumE,
+		r.script.Parts, r.script.GraphSeed, envLLCBytes, envMemBudget)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(envLLCBytes)
+	cfg.Cores = 2
+	return core.NewSystem(env.Layout, env.Mem, env.Cache, cfg)
+}
+
+// boot opens (or re-opens) the stack from the data directory: recovery
+// replay, sink attachment, service restore with pending re-admission.
+func (r *runner) boot() error {
+	sys, err := r.newSystem()
+	if err != nil {
+		return err
+	}
+	st, rec, err := storage.Open(r.dir, storage.StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     r.inj,
+		Retry:                  storage.RetryPolicy{Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		return err
+	}
+	if rec.HasCheckpoint {
+		if err := sys.RestorePartitions(rec.Partitions); err != nil {
+			return err
+		}
+		if err := sys.RestoreOverrides(rec.Overrides); err != nil {
+			return err
+		}
+	}
+	for _, ev := range rec.Evolves {
+		if err := sys.ApplyEvolve(ev); err != nil {
+			return err
+		}
+	}
+	r.sys, r.st = sys, st
+	r.tlog.swap(st)
+	r.gate.rearm()
+	sys.SetEvolveSink(&recordingSink{runner: r})
+	r.svc = service.New(sys, service.Config{
+		MaxInFlight:        r.script.MaxInFlight,
+		MaxQueuedPerTenant: r.script.QueueCap,
+		Seed:               1,
+		Clock:              r.clock,
+		FinishGate:         r.gate.gate,
+		TicketLog:          r.tlog,
+	})
+	readmitted, err := r.svc.Restore(rec)
+	if err != nil {
+		return err
+	}
+	r.live = make(map[int]*service.Ticket, len(readmitted))
+	for _, t := range readmitted {
+		r.live[t.ID] = t
+	}
+	return nil
+}
+
+func (r *runner) exec(i int, op Op) error {
+	switch op.Kind {
+	case OpSubmit:
+		r.submit(service.Request{Tenant: op.Tenant, Algo: op.Algo, Seed: op.Seed})
+	case OpFlood:
+		for j := 0; j < op.N; j++ {
+			r.submit(service.Request{Tenant: op.Tenant, Algo: "pagerank"})
+		}
+	case OpCancel:
+		r.settle(i)
+		r.stats.Cancels++
+		if len(r.acked) > 0 {
+			target := r.acked[op.Target%len(r.acked)].ID
+			// Unknown (pre-crash terminal) and already-terminal targets are
+			// deterministic no-ops; both error paths are tolerated.
+			_ = r.svc.Cancel(target) //nolint:discarded // annotated: no-op cancels are part of the chaos surface
+		}
+	case OpAdd:
+		if _, err := r.sys.AddEdges(op.Edges); err != nil {
+			r.stats.EvolvesRefused++
+		} else {
+			r.stats.EvolvesAcked++
+		}
+	case OpRemove:
+		src := op.Src
+		if _, _, err := r.sys.RemoveEdges(func(e graph.Edge) bool { return e.Src == src }); err != nil {
+			r.stats.EvolvesRefused++
+		} else {
+			r.stats.EvolvesAcked++
+		}
+	case OpSettle:
+		r.settle(i)
+	case OpRelease:
+		r.settle(i)
+		ids := r.gate.parkedIDs()
+		if len(ids) > op.N {
+			ids = ids[:op.N]
+		}
+		for _, id := range ids {
+			r.gate.release(id)
+			if t, ok := r.live[id]; ok {
+				t.Wait()
+			}
+		}
+	case OpCheckpoint:
+		r.settle(i)
+		if err := r.sys.Checkpoint(r.st); err != nil {
+			// A checkpoint refused by an armed fault (or a latched WAL) is
+			// tolerated; the old checkpoint still stands.
+			break
+		}
+		r.stats.Checkpoints++
+		r.model.checkpointed()
+	case OpFault:
+		sched, err := faultfs.ParseSchedule(op.Sched)
+		if err != nil {
+			return fmt.Errorf("op %d: %v", i, err)
+		}
+		r.inj.SetSchedule(sched)
+	case OpClearFault:
+		r.inj.Disarm()
+		if err := r.st.Probe(); err != nil {
+			r.violate("op %d: probe failed after disarm: %v", i, err)
+		}
+	case OpCrash:
+		return r.crash(i)
+	case OpSkew:
+		r.clock.Jump(time.Duration(op.SkewMS) * time.Millisecond)
+	default:
+		return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
+	}
+	return nil
+}
+
+func (r *runner) submit(req service.Request) {
+	t, err := r.svc.Submit(req)
+	if err != nil {
+		r.stats.SubmitsRefused++
+		return
+	}
+	r.stats.SubmitsAcked++
+	r.acked = append(r.acked, ackedSubmit{ID: t.ID, Tenant: t.Tenant, Algo: t.Algo})
+	r.live[t.ID] = t
+}
+
+// settle waits until every in-flight driver is parked at the gate, then
+// flushes buffered terminal lines. From here until the next release, the
+// service state is frozen and deterministic.
+func (r *runner) settle(i int) {
+	deadline := time.Now().Add(settleWait)
+	for {
+		snap := r.svc.Snapshot()
+		r.gate.mu.Lock()
+		parked := len(r.gate.parked)
+		r.gate.mu.Unlock()
+		if parked == snap.InFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			r.violate("op %d: settle timed out (%d parked vs %d in flight)", i, parked, snap.InFlight)
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	r.tlog.flush()
+}
+
+// crash freezes the durable state mid-flight and restarts the whole stack
+// from the directory. Buffered terminal lines die with the process (their
+// jobs recover as pending and re-run); the in-memory graph reverts to
+// exactly what was durable.
+func (r *runner) crash(i int) error {
+	r.stats.Crashes++
+	r.gate.releaseAll()
+	r.st.Crash()
+	r.svc.Shutdown()
+	if err := r.st.Close(); err != nil {
+		r.violate("op %d: close of crashed store: %v", i, err)
+	}
+	r.tlog.dropBuffer()
+	r.model.crashed()
+	return r.boot()
+}
+
+// finalize drains the service, flushes terminals, and closes the store.
+func (r *runner) finalize() {
+	r.gate.releaseAll()
+	if err := r.svc.Drain(); err != nil {
+		r.violate("drain: %v", err)
+	}
+	r.tlog.flush()
+	if err := r.st.Close(); err != nil {
+		r.violate("close: %v", err)
+	}
+}
+
+// verify replays the data directory like a fresh process and runs the
+// durability oracles against the acked sets.
+func (r *runner) verify(res *RunResult) {
+	st, rec, err := storage.Open(r.dir, storage.StoreOptions{CheckpointEveryRecords: -1})
+	if err != nil {
+		r.violate("verify reopen: %v", err)
+		res.Violations = r.violations
+		return
+	}
+	defer st.Close() //nolint:discarded // annotated: read-only verification handle
+
+	// Oracle: every acknowledged submission survives in the ticket log.
+	submits, terminals := parseTicketLog(res.TicketLog)
+	for _, a := range r.acked {
+		line, ok := submits[a.ID]
+		if !ok {
+			r.violate("acked submit %d (tenant %s algo %s) missing from ticket log", a.ID, a.Tenant, a.Algo)
+			continue
+		}
+		if line.Tenant != a.Tenant || line.Algo != a.Algo {
+			r.violate("acked submit %d recovered as tenant=%s algo=%s, want %s/%s",
+				a.ID, line.Tenant, line.Algo, a.Tenant, a.Algo)
+		}
+	}
+	// Oracle: recovery's pending set is exactly acked-minus-terminal.
+	wantPending := make(map[int]bool)
+	for _, a := range r.acked {
+		if !terminals[a.ID] {
+			wantPending[a.ID] = true
+		}
+	}
+	for _, p := range rec.Pending {
+		if !wantPending[p.ID] {
+			r.violate("recovery re-admits ticket %d which is not acked-pending", p.ID)
+		}
+		delete(wantPending, p.ID)
+	}
+	for id := range wantPending {
+		r.violate("acked non-terminal ticket %d not recovered as pending", id)
+	}
+
+	// Oracle: the recovered graph (checkpoint restore + WAL replay) is
+	// bit-identical to a pure replay of the durable record model.
+	recovered, err := r.recoveredState(rec)
+	if err != nil {
+		r.violate("recovered-state replay: %v", err)
+	}
+	expected, err := r.replayState(r.model.durable())
+	if err != nil {
+		r.violate("expected-state replay: %v", err)
+	}
+	res.RecoveredDigest = recovered
+	res.ExpectedDigest = expected
+	if recovered != "" && expected != "" && recovered != expected {
+		r.violate("recovered state %s != expected durable replay %s", recovered, expected)
+	}
+	res.Violations = r.violations
+}
+
+func (r *runner) recoveredState(rec *storage.Recovery) (string, error) {
+	sys, err := r.newSystem()
+	if err != nil {
+		return "", err
+	}
+	if rec.HasCheckpoint {
+		if err := sys.RestorePartitions(rec.Partitions); err != nil {
+			return "", err
+		}
+		if err := sys.RestoreOverrides(rec.Overrides); err != nil {
+			return "", err
+		}
+	}
+	for _, ev := range rec.Evolves {
+		if err := sys.ApplyEvolve(ev); err != nil {
+			return "", err
+		}
+	}
+	return digestSystem(sys)
+}
+
+func (r *runner) replayState(records []storage.EvolveRecord) (string, error) {
+	sys, err := r.newSystem()
+	if err != nil {
+		return "", err
+	}
+	for _, ev := range records {
+		if err := sys.ApplyEvolve(ev); err != nil {
+			return "", err
+		}
+	}
+	return digestSystem(sys)
+}
+
+// captureCk is a Checkpointer that captures the state instead of writing it.
+type captureCk struct {
+	state storage.CheckpointState
+}
+
+func (c *captureCk) BeginCheckpoint() (func(storage.CheckpointState) error, error) {
+	return func(st storage.CheckpointState) error {
+		c.state = st
+		return nil
+	}, nil
+}
+
+// digestSystem hashes a system's global graph as a per-partition edge
+// multiset (chunk re-splitting between the restore and replay paths may
+// permute within-partition order, so the digest sorts).
+func digestSystem(sys *core.System) (string, error) {
+	var cap captureCk
+	if err := sys.Checkpoint(&cap); err != nil {
+		return "", err
+	}
+	if len(cap.state.Overrides) != 0 {
+		return "", fmt.Errorf("unexpected job-private overrides in global state")
+	}
+	h := sha256.New()
+	pids := make([]int, 0, len(cap.state.Partitions))
+	for pid := range cap.state.Partitions {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var buf [8]byte
+	for _, pid := range pids {
+		edges := append([]graph.Edge(nil), cap.state.Partitions[pid]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Src != edges[j].Src {
+				return edges[i].Src < edges[j].Src
+			}
+			if edges[i].Dst != edges[j].Dst {
+				return edges[i].Dst < edges[j].Dst
+			}
+			return edges[i].Weight < edges[j].Weight
+		})
+		binary.LittleEndian.PutUint64(buf[:], uint64(pid)<<32|uint64(len(edges)))
+		h.Write(buf[:])
+		for _, e := range edges {
+			binary.LittleEndian.PutUint32(buf[0:], e.Src)
+			binary.LittleEndian.PutUint32(buf[4:], e.Dst)
+			h.Write(buf[:])
+			binary.LittleEndian.PutUint32(buf[0:], uint32(int32(e.Weight*1024)))
+			h.Write(buf[:4])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12]), nil
+}
+
+// ticketLine is one parsed submit record.
+type ticketLine struct {
+	Tenant string
+	Algo   string
+}
+
+func parseTicketLog(data []byte) (map[int]ticketLine, map[int]bool) {
+	submits := make(map[int]ticketLine)
+	terminals := make(map[int]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "submit":
+			if len(fields) < 5 {
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				continue
+			}
+			tenant, err := strconv.Unquote(fields[2])
+			if err != nil {
+				continue
+			}
+			submits[id] = ticketLine{Tenant: tenant, Algo: fields[3]}
+		case "end":
+			if len(fields) < 3 {
+				continue
+			}
+			if id, err := strconv.Atoi(fields[1]); err == nil {
+				terminals[id] = true
+			}
+		}
+	}
+	return submits, terminals
+}
+
+// Check runs the script twice in fresh directories under base and applies
+// the cross-run oracles: zero violations, byte-identical ticket logs, and
+// identical recovered-state digests. This is the chaos differential.
+func Check(script Script, base string) error {
+	dirA := filepath.Join(base, "runA")
+	dirB := filepath.Join(base, "runB")
+	for _, d := range []string{dirA, dirB} {
+		if err := os.RemoveAll(d); err != nil {
+			return err
+		}
+	}
+	a, err := Run(script, dirA)
+	if err != nil {
+		return fmt.Errorf("run A: %w", err)
+	}
+	b, err := Run(script, dirB)
+	if err != nil {
+		return fmt.Errorf("run B: %w", err)
+	}
+	if len(a.Violations) > 0 {
+		return fmt.Errorf("run A violations: %s", strings.Join(a.Violations, "; "))
+	}
+	if len(b.Violations) > 0 {
+		return fmt.Errorf("run B violations: %s", strings.Join(b.Violations, "; "))
+	}
+	if !bytes.Equal(a.TicketLog, b.TicketLog) {
+		return fmt.Errorf("ticket logs diverge across runs:\n--- run A ---\n%s--- run B ---\n%s", a.TicketLog, b.TicketLog)
+	}
+	if a.RecoveredDigest != b.RecoveredDigest {
+		return fmt.Errorf("recovered state diverges across runs: %s vs %s", a.RecoveredDigest, b.RecoveredDigest)
+	}
+	return nil
+}
+
+// CheckStats is Check plus the first run's stats, for evidence aggregation.
+func CheckStats(script Script, base string) (RunStats, error) {
+	dirA := filepath.Join(base, "runA")
+	if err := os.RemoveAll(dirA); err != nil {
+		return RunStats{}, err
+	}
+	a, err := Run(script, dirA)
+	if err != nil {
+		return RunStats{}, fmt.Errorf("run A: %w", err)
+	}
+	dirB := filepath.Join(base, "runB")
+	if err := os.RemoveAll(dirB); err != nil {
+		return a.Stats, err
+	}
+	b, err := Run(script, dirB)
+	if err != nil {
+		return a.Stats, fmt.Errorf("run B: %w", err)
+	}
+	if len(a.Violations) > 0 {
+		return a.Stats, fmt.Errorf("run A violations: %s", strings.Join(a.Violations, "; "))
+	}
+	if len(b.Violations) > 0 {
+		return a.Stats, fmt.Errorf("run B violations: %s", strings.Join(b.Violations, "; "))
+	}
+	if !bytes.Equal(a.TicketLog, b.TicketLog) {
+		return a.Stats, fmt.Errorf("ticket logs diverge across runs:\n--- run A ---\n%s--- run B ---\n%s", a.TicketLog, b.TicketLog)
+	}
+	if a.RecoveredDigest != b.RecoveredDigest {
+		return a.Stats, fmt.Errorf("recovered state diverges across runs: %s vs %s", a.RecoveredDigest, b.RecoveredDigest)
+	}
+	return a.Stats, nil
+}

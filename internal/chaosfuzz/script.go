@@ -1,0 +1,544 @@
+// Package chaosfuzz lifts the scenario-level differential fuzzer to the
+// full service+storage stack: seeded chaos scripts mix tenant floods,
+// cancels, queue-full storms, graph evolution, clock-skewed arrivals,
+// injected storage-fault schedules and crash+restart cycles against a real
+// admission service over a real durable store, and a set of oracles checks
+// that no acknowledged submission or evolve record is ever lost, that two
+// runs of the same script produce byte-identical ticket logs, and that the
+// recovered graph view is bit-identical to a pure replay of the durable
+// record stream.
+//
+// Determinism is by construction, not by luck: every driver goroutine parks
+// at the service FinishGate until the script releases it (so admission,
+// queue-full and cancel outcomes are a pure function of the script), and
+// best-effort terminal lines are buffered and flushed in ticket-ID order at
+// script-controlled quiescent points (so the on-disk ticket log bytes are
+// too). Storage faults use count-based injector rules only, which stay
+// deterministic because every injector-visible operation is serialized on
+// the script thread.
+package chaosfuzz
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphm/internal/graph"
+)
+
+// OpKind enumerates the chaos-script operations.
+type OpKind uint8
+
+const (
+	// OpSubmit submits one job. Refusals (queue full, degraded ticket log)
+	// are tolerated and tracked; only acknowledged submissions join the
+	// oracle's acked set.
+	OpSubmit OpKind = iota + 1
+	// OpFlood submits N pagerank jobs from one tenant back to back — the
+	// queue-full storm.
+	OpFlood
+	// OpCancel settles the system (every in-flight driver parked) and then
+	// cancels the Target-th acknowledged submission. Canceling a terminal or
+	// unknown ticket is a deterministic no-op.
+	OpCancel
+	// OpAdd applies a global evolve update appending Edges.
+	OpAdd
+	// OpRemove applies a global evolve update removing all edges out of Src.
+	OpRemove
+	// OpSettle waits until every in-flight driver is parked at the finish
+	// gate, then flushes buffered terminal lines in ticket-ID order.
+	OpSettle
+	// OpRelease releases the N lowest-ID parked drivers, waiting for each
+	// ticket to turn terminal (freeing its admission slot deterministically).
+	OpRelease
+	// OpCheckpoint settles, then folds the WAL into a checkpoint. A
+	// checkpoint refused by an armed fault schedule is tolerated.
+	OpCheckpoint
+	// OpFault arms the storage fault injector with Sched.
+	OpFault
+	// OpClearFault disarms the injector and probes the durable path back to
+	// health (the graceful-degradation recovery cycle).
+	OpClearFault
+	// OpCrash freezes the store (no more writes reach disk), tears the
+	// service down, and restarts the whole stack from the data directory:
+	// recovery replay, pending-ticket re-admission, mid-replay evolution.
+	OpCrash
+	// OpSkew jumps the service clock by SkewMS milliseconds (possibly
+	// backwards) — clock-skewed arrival timestamps.
+	OpSkew
+)
+
+var opNames = map[OpKind]string{
+	OpSubmit: "submit", OpFlood: "flood", OpCancel: "cancel", OpAdd: "add",
+	OpRemove: "remove", OpSettle: "settle", OpRelease: "release",
+	OpCheckpoint: "checkpoint", OpFault: "fault", OpClearFault: "clearfault",
+	OpCrash: "crash", OpSkew: "skew",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one chaos-script operation; which fields matter depends on Kind.
+type Op struct {
+	Kind   OpKind
+	Tenant string       // submit, flood
+	Algo   string       // submit
+	Seed   int64        // submit
+	N      int          // flood, release
+	Target int          // cancel: index into the acked-submission order
+	Edges  []graph.Edge // add
+	Src    uint32       // remove
+	Sched  string       // fault
+	SkewMS int64        // skew
+}
+
+// Script is a complete chaos scenario: the environment shape, the service
+// admission bounds, and the operation sequence.
+type Script struct {
+	// Env generation parameters (scenario.GenEnv): dataset name, vertex and
+	// edge counts, grid partitions, graph seed.
+	EnvName   string
+	NumV      int
+	NumE      int
+	Parts     int
+	GraphSeed int64
+
+	// Service admission bounds (small on purpose, so floods hit them).
+	MaxInFlight int
+	QueueCap    int
+
+	Ops []Op
+}
+
+// Validate checks the structural constraints the runner's oracles rely on:
+// a crash (and the end of the script) must not leave a fault schedule
+// armed — the clear-fault probe truncates any unacknowledged torn WAL tail,
+// which is what makes "durable state == acked state" hold at crash points.
+func (s Script) Validate() error {
+	if s.NumV <= 0 || s.NumE <= 0 || s.Parts <= 0 {
+		return fmt.Errorf("chaosfuzz: bad env shape %d/%d/%d", s.NumV, s.NumE, s.Parts)
+	}
+	if s.MaxInFlight <= 0 || s.QueueCap <= 0 {
+		return fmt.Errorf("chaosfuzz: bad admission bounds %d/%d", s.MaxInFlight, s.QueueCap)
+	}
+	armed := false
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case OpFault:
+			if op.Sched == "" {
+				return fmt.Errorf("chaosfuzz: op %d: fault without schedule", i)
+			}
+			armed = true
+		case OpClearFault:
+			armed = false
+		case OpCrash:
+			if armed {
+				return fmt.Errorf("chaosfuzz: op %d: crash with a fault schedule still armed", i)
+			}
+		case OpSubmit:
+			if op.Algo == "" {
+				return fmt.Errorf("chaosfuzz: op %d: submit without algo", i)
+			}
+		case OpFlood, OpRelease:
+			if op.N <= 0 {
+				return fmt.Errorf("chaosfuzz: op %d: %v with n=%d", i, op.Kind, op.N)
+			}
+		case OpAdd:
+			if len(op.Edges) == 0 {
+				return fmt.Errorf("chaosfuzz: op %d: add without edges", i)
+			}
+		}
+	}
+	if armed {
+		return fmt.Errorf("chaosfuzz: script ends with a fault schedule armed")
+	}
+	return nil
+}
+
+// Encode renders the script in the corpus text format.
+func (s Script) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graphm-chaos v1\n")
+	fmt.Fprintf(&b, "env name=%s v=%d e=%d p=%d gseed=%d\n", s.EnvName, s.NumV, s.NumE, s.Parts, s.GraphSeed)
+	fmt.Fprintf(&b, "cfg inflight=%d queuecap=%d\n", s.MaxInFlight, s.QueueCap)
+	for _, op := range s.Ops {
+		fmt.Fprintf(&b, "op %s", op.Kind)
+		switch op.Kind {
+		case OpSubmit:
+			fmt.Fprintf(&b, " tenant=%s algo=%s seed=%d", op.Tenant, op.Algo, op.Seed)
+		case OpFlood:
+			fmt.Fprintf(&b, " tenant=%s n=%d", op.Tenant, op.N)
+		case OpCancel:
+			fmt.Fprintf(&b, " target=%d", op.Target)
+		case OpAdd:
+			parts := make([]string, len(op.Edges))
+			for i, e := range op.Edges {
+				parts[i] = fmt.Sprintf("%d:%d:%g", e.Src, e.Dst, e.Weight)
+			}
+			fmt.Fprintf(&b, " edges=%s", strings.Join(parts, ","))
+		case OpRemove:
+			fmt.Fprintf(&b, " src=%d", op.Src)
+		case OpRelease:
+			fmt.Fprintf(&b, " n=%d", op.N)
+		case OpFault:
+			fmt.Fprintf(&b, " sched=%s", op.Sched)
+		case OpSkew:
+			fmt.Fprintf(&b, " ms=%d", op.SkewMS)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Decode parses the corpus text format back into a Script.
+func Decode(r io.Reader) (Script, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Script{}, err
+	}
+	var s Script
+	seenHeader, seenEnv, seenCfg := false, false, false
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !seenHeader {
+			if line != "graphm-chaos v1" {
+				return Script{}, fmt.Errorf("chaosfuzz: line %d: unsupported header %q", ln+1, line)
+			}
+			seenHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		kv := parseKVs(fields[1:])
+		switch fields[0] {
+		case "env":
+			s.EnvName = kv["name"]
+			if s.NumV, err = atoi(kv, "v"); err == nil {
+				if s.NumE, err = atoi(kv, "e"); err == nil {
+					if s.Parts, err = atoi(kv, "p"); err == nil {
+						s.GraphSeed, err = atoi64(kv, "gseed")
+					}
+				}
+			}
+			if err != nil {
+				return Script{}, fmt.Errorf("chaosfuzz: line %d: %v", ln+1, err)
+			}
+			seenEnv = true
+		case "cfg":
+			if s.MaxInFlight, err = atoi(kv, "inflight"); err == nil {
+				s.QueueCap, err = atoi(kv, "queuecap")
+			}
+			if err != nil {
+				return Script{}, fmt.Errorf("chaosfuzz: line %d: %v", ln+1, err)
+			}
+			seenCfg = true
+		case "op":
+			if len(fields) < 2 {
+				return Script{}, fmt.Errorf("chaosfuzz: line %d: empty op", ln+1)
+			}
+			op, err := decodeOp(fields[1], kv)
+			if err != nil {
+				return Script{}, fmt.Errorf("chaosfuzz: line %d: %v", ln+1, err)
+			}
+			s.Ops = append(s.Ops, op)
+		default:
+			return Script{}, fmt.Errorf("chaosfuzz: line %d: unknown directive %q", ln+1, fields[0])
+		}
+	}
+	if !seenHeader || !seenEnv || !seenCfg {
+		return Script{}, fmt.Errorf("chaosfuzz: incomplete script (header/env/cfg missing)")
+	}
+	return s, s.Validate()
+}
+
+func decodeOp(name string, kv map[string]string) (Op, error) {
+	var kind OpKind
+	for k, n := range opNames {
+		if n == name {
+			kind = k
+		}
+	}
+	if kind == 0 {
+		return Op{}, fmt.Errorf("unknown op kind %q", name)
+	}
+	op := Op{Kind: kind}
+	var err error
+	switch kind {
+	case OpSubmit:
+		op.Tenant, op.Algo = kv["tenant"], kv["algo"]
+		op.Seed, err = atoi64(kv, "seed")
+	case OpFlood:
+		op.Tenant = kv["tenant"]
+		op.N, err = atoi(kv, "n")
+	case OpCancel:
+		op.Target, err = atoi(kv, "target")
+	case OpAdd:
+		op.Edges, err = parseEdges(kv["edges"])
+	case OpRemove:
+		var v int64
+		v, err = atoi64(kv, "src")
+		op.Src = uint32(v)
+	case OpRelease:
+		op.N, err = atoi(kv, "n")
+	case OpFault:
+		op.Sched = kv["sched"]
+	case OpSkew:
+		op.SkewMS, err = atoi64(kv, "ms")
+	}
+	return op, err
+}
+
+func parseKVs(fields []string) map[string]string {
+	kv := make(map[string]string, len(fields))
+	for _, f := range fields {
+		if i := strings.IndexByte(f, '='); i > 0 {
+			kv[f[:i]] = f[i+1:]
+		}
+	}
+	return kv
+}
+
+func atoi(kv map[string]string, key string) (int, error) {
+	n, err := atoi64(kv, key)
+	return int(n), err
+}
+
+func atoi64(kv map[string]string, key string) (int64, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %q", key)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+func parseEdges(spec string) ([]graph.Edge, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("missing \"edges\"")
+	}
+	var edges []graph.Edge
+	for _, part := range strings.Split(spec, ",") {
+		var src, dst uint64
+		var w float64
+		bits := strings.Split(part, ":")
+		if len(bits) != 3 {
+			return nil, fmt.Errorf("edge %q not src:dst:weight", part)
+		}
+		var err error
+		if src, err = strconv.ParseUint(bits[0], 10, 32); err != nil {
+			return nil, fmt.Errorf("edge %q: %v", part, err)
+		}
+		if dst, err = strconv.ParseUint(bits[1], 10, 32); err != nil {
+			return nil, fmt.Errorf("edge %q: %v", part, err)
+		}
+		if w, err = strconv.ParseFloat(bits[2], 32); err != nil {
+			return nil, fmt.Errorf("edge %q: %v", part, err)
+		}
+		edges = append(edges, graph.Edge{Src: uint32(src), Dst: uint32(dst), Weight: float32(w)})
+	}
+	return edges, nil
+}
+
+// GenOptions shapes generated scripts. The env shape is fixed across seeds:
+// chaos variety comes from the operation mix, and a shared shape lets the
+// runner reuse one deterministic graph generation recipe.
+type GenOptions struct {
+	EnvName   string
+	NumV      int
+	NumE      int
+	Parts     int
+	GraphSeed int64
+	// Sources are vertex IDs that exist as edge sources in the generated
+	// graph — evolve ops draw from them so updates always land on labelled,
+	// non-empty partitions (a validation failure would leave a partial
+	// in-memory install no durable replay can reproduce).
+	Sources []uint32
+	// MaxOps bounds the script length (default 22).
+	MaxOps int
+	// MaxCrashes bounds restart cycles per script (default 2).
+	MaxCrashes int
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxOps <= 0 {
+		o.MaxOps = 22
+	}
+	if o.MaxCrashes <= 0 {
+		o.MaxCrashes = 2
+	}
+	return o
+}
+
+var genAlgos = []string{"pagerank", "bfs", "wcc", "sssp"}
+
+// faultTemplates are the count-based schedules the generator arms. Counts
+// below the storage retry budget (4 attempts) exercise the transparent
+// retry path; larger counts latch the durable path and exercise graceful
+// degradation plus the probe recovery. All rules are count-based — every
+// injector-visible operation runs on the script thread, so counts are
+// deterministic across runs of the same script.
+var faultTemplates = []string{
+	"sync:fail:path=tickets:count=2",
+	"sync:fail:path=tickets:count=9",
+	"sync:fail:path=wal-:count=1",
+	"sync:fail:path=wal-:count=8",
+	"write:torn:path=wal-:count=1",
+	"write:enospc:path=wal-:count=1",
+	"rename:fail:path=ckpt:count=1",
+	"sync:fail:path=wal-:after=1:count=6",
+}
+
+// Generate produces a valid chaos script from the RNG: a structured random
+// walk over the op kinds that maintains the Validate invariants (fault
+// schedules are always cleared before a crash and before the script ends).
+func Generate(rng *rand.Rand, o GenOptions) (Script, error) {
+	o = o.withDefaults()
+	if len(o.Sources) == 0 {
+		return Script{}, fmt.Errorf("chaosfuzz: GenOptions.Sources is empty")
+	}
+	s := Script{
+		EnvName: o.EnvName, NumV: o.NumV, NumE: o.NumE, Parts: o.Parts, GraphSeed: o.GraphSeed,
+		MaxInFlight: 2 + rng.Intn(2),
+		QueueCap:    2 + rng.Intn(3),
+	}
+	budget := 10 + rng.Intn(o.MaxOps-9)
+	armed, crashes := false, 0
+	// Weighted op menu; drawing an inapplicable entry falls through to
+	// submit, keeping the walk total-ordered by the RNG stream alone.
+	for len(s.Ops) < budget {
+		switch pick := rng.Intn(100); {
+		case pick < 26: // submit
+			s.Ops = append(s.Ops, Op{Kind: OpSubmit,
+				Tenant: fmt.Sprintf("t%d", rng.Intn(4)),
+				Algo:   genAlgos[rng.Intn(len(genAlgos))],
+				Seed:   int64(rng.Intn(1000)),
+			})
+		case pick < 36: // flood
+			s.Ops = append(s.Ops, Op{Kind: OpFlood,
+				Tenant: fmt.Sprintf("t%d", rng.Intn(4)),
+				N:      s.QueueCap + 2 + rng.Intn(4),
+			})
+		case pick < 50: // settle
+			s.Ops = append(s.Ops, Op{Kind: OpSettle})
+		case pick < 64: // release
+			s.Ops = append(s.Ops, Op{Kind: OpRelease, N: 1 + rng.Intn(3)})
+		case pick < 72: // add
+			n := 1 + rng.Intn(4)
+			edges := make([]graph.Edge, n)
+			for i := range edges {
+				edges[i] = graph.Edge{
+					Src:    o.Sources[rng.Intn(len(o.Sources))],
+					Dst:    uint32(rng.Intn(o.NumV)),
+					Weight: float32(1 + rng.Intn(8)),
+				}
+			}
+			s.Ops = append(s.Ops, Op{Kind: OpAdd, Edges: edges})
+		case pick < 77: // remove
+			s.Ops = append(s.Ops, Op{Kind: OpRemove, Src: o.Sources[rng.Intn(len(o.Sources))]})
+		case pick < 82: // cancel
+			s.Ops = append(s.Ops, Op{Kind: OpCancel, Target: rng.Intn(12)})
+		case pick < 88 && !armed: // fault
+			s.Ops = append(s.Ops, Op{Kind: OpFault, Sched: faultTemplates[rng.Intn(len(faultTemplates))]})
+			armed = true
+		case pick < 88 && armed: // clear an armed fault
+			s.Ops = append(s.Ops, Op{Kind: OpClearFault})
+			armed = false
+		case pick < 93: // checkpoint
+			s.Ops = append(s.Ops, Op{Kind: OpCheckpoint})
+		case pick < 97 && crashes < o.MaxCrashes: // crash (clearing faults first)
+			if armed {
+				s.Ops = append(s.Ops, Op{Kind: OpClearFault})
+				armed = false
+			}
+			s.Ops = append(s.Ops, Op{Kind: OpCrash})
+			crashes++
+		default: // skew
+			s.Ops = append(s.Ops, Op{Kind: OpSkew, SkewMS: int64(rng.Intn(120_000)) - 60_000})
+		}
+	}
+	if armed {
+		s.Ops = append(s.Ops, Op{Kind: OpClearFault})
+	}
+	if err := s.Validate(); err != nil {
+		return Script{}, err
+	}
+	return s, nil
+}
+
+// Minimize greedily shrinks a failing script while the predicate keeps
+// holding: first whole ops are dropped (largest spans first), then flood
+// and release widths and add-edge lists are shrunk. Every candidate is
+// re-validated so minimization never produces a script the runner's
+// oracles don't cover (e.g. a crash under an armed fault).
+func Minimize(s Script, failing func(Script) bool) Script {
+	cur := s
+	for changed := true; changed; {
+		changed = false
+		// Drop spans of ops, halving the span width down to single ops.
+		for span := len(cur.Ops); span >= 1; span /= 2 {
+			for i := 0; i+span <= len(cur.Ops); i++ {
+				cand := cur
+				cand.Ops = append(append([]Op(nil), cur.Ops[:i]...), cur.Ops[i+span:]...)
+				if cand.Validate() == nil && failing(cand) {
+					cur = cand
+					changed = true
+					// Restart the scan at this width: indices shifted.
+					i--
+				}
+			}
+		}
+		// Shrink numeric payloads.
+		for i := range cur.Ops {
+			for {
+				cand := cur
+				cand.Ops = append([]Op(nil), cur.Ops...)
+				op := &cand.Ops[i]
+				switch {
+				case op.Kind == OpFlood && op.N > 1:
+					op.N--
+				case op.Kind == OpRelease && op.N > 1:
+					op.N--
+				case op.Kind == OpAdd && len(op.Edges) > 1:
+					op.Edges = op.Edges[:len(op.Edges)-1]
+				default:
+					op = nil
+				}
+				if op == nil || cand.Validate() != nil || !failing(cand) {
+					break
+				}
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// SortedSources extracts the distinct edge-source vertex IDs from a
+// partition-edges map, sorted — the generator's valid-update domain.
+func SortedSources(partitions map[int][]graph.Edge) []uint32 {
+	seen := make(map[uint32]bool)
+	for _, edges := range partitions {
+		for _, e := range edges {
+			seen[e.Src] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

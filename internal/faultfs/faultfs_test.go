@@ -1,0 +1,321 @@
+package faultfs
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeAll(t *testing.T, fsys FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TestOSPassthrough: the OS implementation round-trips bytes and survives
+// directory sync on a real tempdir.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fsys OS
+	path := filepath.Join(dir, "a")
+	if err := writeAll(t, fsys, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Truncate(filepath.Join(dir, "b"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleCodecRoundTrip: ParseSchedule(s.String()) == s for a schedule
+// exercising every option.
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	spec := "sync:fail:path=wal-:after=3:count=2,write:torn:count=1,write:enospc:path=tickets,open:latency:delay=5ms,rename:fail:p=0.5"
+	sched, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 5 {
+		t.Fatalf("parsed %d rules", len(sched))
+	}
+	if sched[0].Op != OpSync || sched[0].Kind != KindFail || sched[0].Path != "wal-" || sched[0].After != 3 || sched[0].Count != 2 {
+		t.Fatalf("rule 0 = %+v", sched[0])
+	}
+	if sched[3].Kind != KindLatency || sched[3].Delay != 5*time.Millisecond {
+		t.Fatalf("rule 3 = %+v", sched[3])
+	}
+	re, err := ParseSchedule(sched.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.String() != sched.String() {
+		t.Fatalf("round trip changed schedule:\n%s\nvs\n%s", sched, re)
+	}
+}
+
+func TestParseScheduleRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"sync",              // missing kind
+		"explode:fail",      // unknown op
+		"sync:detonate",     // unknown kind
+		"sync:fail:after=x", // bad int
+		"sync:fail:p=2",     // probability out of range
+		"open:latency",      // latency without delay
+		"sync:fail:bogus=1", // unknown option
+		"sync:fail:path",    // option without value
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted garbage", bad)
+		}
+	}
+	if s, err := ParseSchedule("  "); err != nil || s != nil {
+		t.Fatalf("empty spec: %v, %v", s, err)
+	}
+}
+
+// TestInjectorDeterministicCounts: after/count rules fire on exactly the
+// scheduled operations, independent of wall time, and the same sequence
+// injects the same faults again after SetSchedule resets the counters.
+func TestInjectorDeterministicCounts(t *testing.T) {
+	dir := t.TempDir()
+	sched, err := ParseSchedule("sync:fail:after=2:count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(OS{}, sched, nil)
+	path := filepath.Join(dir, "f")
+
+	run := func() []bool {
+		f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var outcomes []bool
+		for i := 0; i < 6; i++ {
+			if _, err := f.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			outcomes = append(outcomes, f.Sync() == nil)
+		}
+		return outcomes
+	}
+	want := []bool{true, true, false, false, true, true}
+	got := run()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("first run sync outcomes = %v, want %v", got, want)
+		}
+	}
+	in.SetSchedule(sched) // reset counters: the same schedule re-fires
+	got = run()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("second run sync outcomes = %v, want %v", got, want)
+		}
+	}
+	st := in.Stats()
+	if st.Injected[OpSync] != 4 {
+		t.Fatalf("injected sync faults = %d, want 4", st.Injected[OpSync])
+	}
+	if len(in.Events()) != 4 {
+		t.Fatalf("events = %d, want 4", len(in.Events()))
+	}
+}
+
+// TestInjectorTornWrite: a torn write leaves a strict prefix on disk and
+// reports ErrInjected.
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	sched, _ := ParseSchedule("write:torn:count=1")
+	in := New(OS{}, sched, nil)
+	path := filepath.Join(dir, "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write wrote %d bytes, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("on-disk bytes = %q, %v", data, err)
+	}
+	// The rule exhausted: the next write is whole.
+	f, err = in.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestInjectorENOSPCAndRename: ENOSPC faults satisfy errors.Is for both
+// ErrInjected and syscall.ENOSPC; rename faults block the rename.
+func TestInjectorENOSPCAndRename(t *testing.T) {
+	dir := t.TempDir()
+	sched, _ := ParseSchedule("write:enospc:count=1,rename:fail:count=1")
+	in := New(OS{}, sched, nil)
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Write([]byte("x"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("enospc write err = %v", err)
+	}
+	f.Close()
+	if err := in.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "f")); statErr != nil {
+		t.Fatal("failed rename moved the file anyway")
+	}
+	// Second rename passes (count exhausted).
+	if err := in.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorPathFilterAndProb: path filters scope rules to matching files;
+// a seeded probabilistic rule fires deterministically for a fixed seed.
+func TestInjectorPathFilterAndProb(t *testing.T) {
+	dir := t.TempDir()
+	sched, _ := ParseSchedule("sync:fail:path=wal-")
+	in := New(OS{}, sched, nil)
+	wal, err := in.OpenFile(filepath.Join(dir, "wal-00000001.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	tickets, err := in.OpenFile(filepath.Join(dir, "tickets.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tickets.Close()
+	if err := wal.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wal sync err = %v", err)
+	}
+	if err := tickets.Sync(); err != nil {
+		t.Fatalf("tickets sync err = %v (path filter leaked)", err)
+	}
+
+	// Seeded probabilistic rule: two injectors with the same seed agree.
+	probSched, _ := ParseSchedule("sync:fail:p=0.5")
+	outcomes := func(seed int64) []bool {
+		inj := New(OS{}, probSched, rand.New(rand.NewSource(seed)))
+		f, err := inj.OpenFile(filepath.Join(dir, "p"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var out []bool
+		for i := 0; i < 20; i++ {
+			out = append(out, f.Sync() == nil)
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed probabilistic injection diverged")
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.5 rule fired %d/%d times — not probabilistic", fails, len(a))
+	}
+}
+
+// TestInjectorFreeze: Freeze fails every mutating op until thawed; Disarm
+// clears scheduled rules.
+func TestInjectorFreeze(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS{}, nil, nil)
+	path := filepath.Join(dir, "f")
+	if err := writeAll(t, in, path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	in.Freeze(true)
+	if err := writeAll(t, in, path, []byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("frozen write err = %v", err)
+	}
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("frozen read err = %v (reads must pass)", err)
+	}
+	in.Freeze(false)
+	if err := writeAll(t, in, path, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+
+	sched, _ := ParseSchedule("write:fail")
+	in.SetSchedule(sched)
+	if err := writeAll(t, in, path, []byte("w")); !errors.Is(err, ErrInjected) {
+		t.Fatal("schedule did not arm")
+	}
+	in.Disarm()
+	if err := writeAll(t, in, path, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorLatency: latency rules delay but do not fail.
+func TestInjectorLatency(t *testing.T) {
+	dir := t.TempDir()
+	sched, _ := ParseSchedule("sync:latency:delay=30ms:count=1")
+	in := New(OS{}, sched, nil)
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency rule delayed only %v", d)
+	}
+}

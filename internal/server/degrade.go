@@ -1,0 +1,125 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"graphm/internal/storage"
+)
+
+// Graceful degradation: when the durable path fails persistently (WAL flush
+// retries exhausted, ticket log unwritable, checkpoint install failing), the
+// daemon flips into a degraded read-only mode instead of crashing or — far
+// worse — acknowledging writes it cannot persist. In degraded mode:
+//
+//   - submit and evolve requests get 503 with a Retry-After hint,
+//   - running jobs keep streaming to completion (reads never depended on
+//     the durable path),
+//   - /healthz reports status "degraded" with the cause, /metrics exports
+//     graphm_degraded{cause=...},
+//   - the housekeeping loop calls ProbeRecovery, which actively exercises
+//     the durable path (storage.Store.Probe) and re-arms writes the moment
+//     it heals.
+//
+// The causes are a bounded enum (they become a metric label):
+//
+//	"wal"        evolve WAL append/flush failure
+//	"ticket-log" ticket submission log failure
+//	"checkpoint" checkpoint write/install/GC failure
+
+// degradedRetryAfter is the Retry-After hint for 503s issued while degraded
+// or draining: long enough for a recovery probe cycle, short enough that
+// clients re-offer work promptly after recovery.
+const degradedRetryAfter = 5 * time.Second
+
+// degradedState is the server's view of the durable path, guarded by
+// Server.mu.
+type degradedState struct {
+	degraded bool
+	cause    string // bounded: "wal" | "ticket-log" | "checkpoint"
+	detail   string // full error text for /healthz
+	since    time.Time
+}
+
+// Degraded reports whether the daemon is in degraded read-only mode, with
+// the cause class and error detail.
+func (s *Server) Degraded() (degraded bool, cause, detail string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degrade.degraded, s.degrade.cause, s.degrade.detail
+}
+
+// maybeDegrade inspects err; if it is a durability failure
+// (storage.ErrDurability) the daemon enters degraded mode under the given
+// cause class and the caller should answer 503. Returns whether it did.
+func (s *Server) maybeDegrade(cause string, err error) bool {
+	if err == nil || !errors.Is(err, storage.ErrDurability) {
+		return false
+	}
+	s.mu.Lock()
+	if !s.degrade.degraded {
+		s.degrade.degraded = true
+		s.degrade.since = s.cfg.Clock.Now()
+		s.degradedTotal.Add(1)
+	}
+	// Re-stamp cause and detail even when already degraded: the latest
+	// failure is the most useful one on /healthz.
+	s.degrade.cause = cause
+	s.degrade.detail = err.Error()
+	s.mu.Unlock()
+	return true
+}
+
+// clearDegraded re-arms the write path after a successful recovery probe.
+func (s *Server) clearDegraded() {
+	s.mu.Lock()
+	s.degrade = degradedState{}
+	s.mu.Unlock()
+}
+
+// ProbeRecovery actively checks the durable path while degraded and re-arms
+// the daemon when it heals. The housekeeping loop calls this every tick; it
+// is a no-op when the daemon is healthy or has no store. Returns true when
+// the probe ran and the daemon recovered.
+func (s *Server) ProbeRecovery() bool {
+	s.mu.Lock()
+	degraded := s.degrade.degraded
+	st := s.store
+	s.mu.Unlock()
+	if !degraded || st == nil {
+		return false
+	}
+	s.probeAttempts.Add(1)
+	if err := st.Probe(); err != nil {
+		return false
+	}
+	if !st.Health().Healthy() {
+		return false
+	}
+	s.clearDegraded()
+	return true
+}
+
+// writeUnavailable answers 503 with the Retry-After hint every
+// not-accepting-writes path shares (draining, degraded, closed service).
+func (s *Server) writeUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(degradedRetryAfter)))
+	s.writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// refuseWrites is the common front gate for submit and evolve handlers:
+// draining or degraded daemons answer 503 + Retry-After and the handler
+// stops. Returns true when the request was refused.
+func (s *Server) refuseWrites(w http.ResponseWriter) bool {
+	if s.Draining() {
+		s.writeUnavailable(w, "draining: no writes admitted")
+		return true
+	}
+	if degraded, cause, _ := s.Degraded(); degraded {
+		s.writeUnavailable(w, "degraded (%s): durable path unavailable, writes refused", cause)
+		return true
+	}
+	return false
+}

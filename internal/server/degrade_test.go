@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphm/internal/faultfs"
+	"graphm/internal/service"
+	"graphm/internal/storage"
+)
+
+// newDegradeServer builds a daemon over a real (fsyncing) store behind a
+// fault injector, with instant retry backoff.
+func newDegradeServer(t *testing.T) (*Server, *httptest.Server, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.New(faultfs.OS{}, nil, nil)
+	st, _, err := storage.Open(t.TempDir(), storage.StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     inj,
+		Retry:                  storage.RetryPolicy{Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	s := New(newTestSystem(t, "degrade-"+t.Name()), service.Config{TicketLog: st, Seed: 3}, Config{})
+	s.AttachStore(st)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, inj
+}
+
+// healthzView decodes GET /healthz.
+type healthzView struct {
+	Status        string         `json:"status"`
+	Draining      bool           `json:"draining"`
+	Degraded      bool           `json:"degraded"`
+	DegradedCause string         `json:"degraded_cause"`
+	DegradedError string         `json:"degraded_error"`
+	Storage       *healthStorage `json:"storage"`
+}
+
+func getHealthz(t *testing.T, ts *httptest.Server) healthzView {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthzView
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func getMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSubmitDurabilityFailureDegrades: a persistent ticket-log fault turns
+// submissions into 503 + Retry-After (never a silent ack), flips /healthz
+// to degraded with the cause, keeps reads working, and ProbeRecovery
+// re-arms the daemon once the fault clears.
+func TestSubmitDurabilityFailureDegrades(t *testing.T) {
+	s, ts, inj := newDegradeServer(t)
+
+	tr, code := submit(t, ts, "alpha", "pagerank")
+	if code != http.StatusAccepted {
+		t.Fatalf("healthy submit: status %d", code)
+	}
+	pollDone(t, ts, tr.ID)
+
+	sched, _ := faultfs.ParseSchedule("sync:fail:path=tickets")
+	inj.SetSchedule(sched)
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"algo":"pagerank"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under fault: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	h := getHealthz(t, ts)
+	if h.Status != "degraded" || !h.Degraded || h.DegradedCause != "ticket-log" || h.DegradedError == "" {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if m := getMetrics(t, ts); !strings.Contains(m, `graphm_degraded{cause="ticket-log"} 1`) {
+		t.Fatalf("metrics missing degraded gauge:\n%s", m)
+	}
+
+	// Reads keep working while degraded.
+	if _, code := getTicket(t, ts, tr.ID); code != http.StatusOK {
+		t.Fatalf("read while degraded: status %d", code)
+	}
+	// Further writes are refused up front by the degraded gate.
+	if _, code := submit(t, ts, "alpha", "pagerank"); code != http.StatusServiceUnavailable {
+		t.Fatalf("second submit while degraded: status %d", code)
+	}
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 1, Dst: 2}}}); code != http.StatusServiceUnavailable {
+		t.Fatalf("evolve while degraded: status %d", code)
+	}
+
+	// While the fault persists, probing does not recover.
+	if s.ProbeRecovery() {
+		t.Fatal("ProbeRecovery succeeded while the fault is armed")
+	}
+	inj.Disarm()
+	if !s.ProbeRecovery() {
+		t.Fatal("ProbeRecovery failed after the fault cleared")
+	}
+	if h := getHealthz(t, ts); h.Status != "ok" || h.Degraded {
+		t.Fatalf("healthz after recovery = %+v", h)
+	}
+	tr2, code := submit(t, ts, "alpha", "pagerank")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after recovery: status %d", code)
+	}
+	pollDone(t, ts, tr2.ID)
+	if m := getMetrics(t, ts); !strings.Contains(m, "graphm_degraded 0") ||
+		!strings.Contains(m, "graphm_degraded_entered_total 1") {
+		t.Fatalf("metrics after recovery:\n%s", m)
+	}
+}
+
+// TestEvolveDurabilityFailureDegrades: a persistent WAL fault turns evolve
+// mutations into 503 (cause "wal"); recovery re-arms and the durable state
+// seen after restart contains exactly the acknowledged mutations.
+func TestEvolveDurabilityFailureDegrades(t *testing.T) {
+	s, ts, inj := newDegradeServer(t)
+
+	ev, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 3, Dst: 4, Weight: 1}}})
+	if code != http.StatusOK || ev.Added != 1 {
+		t.Fatalf("healthy evolve: status %d resp %+v", code, ev)
+	}
+
+	sched, _ := faultfs.ParseSchedule("sync:fail:path=wal-")
+	inj.SetSchedule(sched)
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 5, Dst: 6, Weight: 1}}}); code != http.StatusServiceUnavailable {
+		t.Fatalf("evolve under fault: status %d, want 503", code)
+	}
+	if h := getHealthz(t, ts); h.DegradedCause != "wal" || h.Storage == nil || !h.Storage.WALFailed {
+		t.Fatalf("healthz = %+v storage = %+v", h, h.Storage)
+	}
+
+	inj.Disarm()
+	if !s.ProbeRecovery() {
+		t.Fatal("ProbeRecovery failed after the fault cleared")
+	}
+	ev, code = evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 7, Dst: 8, Weight: 1}}})
+	if code != http.StatusOK || ev.Added != 1 {
+		t.Fatalf("evolve after recovery: status %d resp %+v", code, ev)
+	}
+
+	// A bad request is still a 400, not a degradation.
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("validation error: status %d, want 400", code)
+	}
+	if h := getHealthz(t, ts); h.Degraded {
+		t.Fatalf("validation error degraded the daemon: %+v", h)
+	}
+}
+
+// TestDrainingRefusalsCarryRetryAfter: the draining 503s hint Retry-After
+// exactly like the 429 paths do.
+func TestDrainingRefusalsCarryRetryAfter(t *testing.T) {
+	_, ts, _ := newDegradeServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"algo":"pagerank"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining submit: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/graph/edges",
+		strings.NewReader(`{"edges":[{"src":1,"dst":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining evolve: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}

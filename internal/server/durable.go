@@ -101,6 +101,10 @@ func (s *Server) MaybeCheckpoint(force bool) (bool, error) {
 		return false, nil
 	}
 	if err := s.sys.Checkpoint(st); err != nil {
+		// A checkpoint durability failure degrades the daemon (nothing is
+		// lost — the WAL still covers the state — but the durable path needs
+		// attention before the log grows without bound).
+		s.maybeDegrade("checkpoint", err)
 		return false, err
 	}
 	return true, nil
@@ -142,8 +146,7 @@ type evolveResponse struct {
 }
 
 func (s *Server) handleEvolveAdd(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining: graph is read-only")
+	if s.refuseWrites(w) {
 		return
 	}
 	var req evolveAddRequest
@@ -163,7 +166,7 @@ func (s *Server) handleEvolveAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.JobID != nil {
 		if err := s.sys.AddEdgesFor(*req.JobID, edges); err != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeEvolveError(w, err)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, evolveResponse{Added: len(edges), Version: s.sys.SnapshotVersion()})
@@ -171,15 +174,26 @@ func (s *Server) handleEvolveAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	version, err := s.sys.AddEdges(edges)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeEvolveError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, evolveResponse{Added: len(edges), Version: version})
 }
 
+// writeEvolveError maps an evolve failure to HTTP: a durability failure
+// (the WAL could not commit the record) degrades the daemon and answers
+// 503 + Retry-After — the mutation must not be acknowledged — while
+// anything else is a caller mistake (400).
+func (s *Server) writeEvolveError(w http.ResponseWriter, err error) {
+	if s.maybeDegrade("wal", err) {
+		s.writeUnavailable(w, "degraded (wal): %v", err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "%v", err)
+}
+
 func (s *Server) handleEvolveRemove(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining: graph is read-only")
+	if s.refuseWrites(w) {
 		return
 	}
 	var req evolveRemoveRequest
@@ -222,7 +236,7 @@ func (s *Server) handleEvolveRemove(w http.ResponseWriter, r *http.Request) {
 	if req.JobID != nil {
 		removed, err := s.sys.RemoveEdgesFor(*req.JobID, pred)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeEvolveError(w, err)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, evolveResponse{Removed: removed, Version: s.sys.SnapshotVersion()})
@@ -230,7 +244,7 @@ func (s *Server) handleEvolveRemove(w http.ResponseWriter, r *http.Request) {
 	}
 	version, removed, err := s.sys.RemoveEdges(pred)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeEvolveError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, evolveResponse{Removed: removed, Version: version})

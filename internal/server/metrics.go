@@ -67,7 +67,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("graphm_wal_batches_total", "Write batches flushed (group commit).", ws.Batches)
 		counter("graphm_wal_syncs_total", "fsync calls issued by the WAL.", ws.Syncs)
 		counter("graphm_wal_bytes_total", "Bytes framed into the WAL.", ws.Bytes)
+		counter("graphm_wal_retries_total", "WAL flushes recovered via the truncate-rewrite retry path.", ws.Retries)
+		counter("graphm_ticketlog_dropped_total", "Ticket terminal lines lost to persistent write errors.", st.TicketLogDropped())
 	}
+
+	// Graceful degradation: whether the durable path is down, why, and how
+	// the recovery probing is going.
+	if degraded, cause, _ := s.Degraded(); degraded {
+		fmt.Fprintf(&b, "# HELP graphm_degraded 1 while the daemon is in degraded read-only mode.\n# TYPE graphm_degraded gauge\ngraphm_degraded{cause=%q} 1\n", cause)
+	} else {
+		gauge("graphm_degraded", "1 while the daemon is in degraded read-only mode.", 0)
+	}
+	counter("graphm_degraded_entered_total", "Times the daemon entered degraded mode.", s.degradedTotal.Load())
+	counter("graphm_recovery_probes_total", "Durable-path recovery probes attempted while degraded.", s.probeAttempts.Load())
 
 	// HTTP layer.
 	counter("graphm_http_requests_total", "HTTP requests served.", s.httpRequests.Load())

@@ -113,10 +113,13 @@ type Server struct {
 	draining  bool
 	store     *storage.Store
 	recovered *RecoveredState
+	degrade   degradedState
 
 	httpRequests    atomic.Uint64
 	httpErrors      atomic.Uint64
 	httpRateLimited atomic.Uint64
+	degradedTotal   atomic.Uint64
+	probeAttempts   atomic.Uint64
 
 	started time.Time
 }
@@ -364,8 +367,7 @@ func (s *Server) tenantOf(r *http.Request) (string, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining: no new jobs admitted")
+	if s.refuseWrites(w) {
 		return
 	}
 	tenant, err := s.tenantOf(r)
@@ -400,8 +402,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
+	case s.maybeDegrade("ticket-log", err):
+		// The submission could not be made durable: never acknowledge it.
+		s.writeUnavailable(w, "degraded (ticket-log): %v", err)
+		return
 	case errors.Is(err, service.ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeUnavailable(w, "%v", err)
 		return
 	case err != nil:
 		// Unknown algorithm or other validation failure.
@@ -453,12 +459,33 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Drain())
 }
 
+// healthStorage is the /healthz view of the durable store's health.
+type healthStorage struct {
+	WALFailed     bool   `json:"wal_failed"`
+	TicketBroken  bool   `json:"ticket_broken"`
+	TicketDropped uint64 `json:"ticket_dropped"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, struct {
-		Status    string          `json:"status"`
-		Draining  bool            `json:"draining"`
-		Recovered *RecoveredState `json:"recovered,omitempty"`
-	}{"ok", s.Draining(), s.Recovered()})
+	status := "ok"
+	degraded, cause, detail := s.Degraded()
+	if degraded {
+		status = "degraded"
+	}
+	resp := struct {
+		Status        string          `json:"status"`
+		Draining      bool            `json:"draining"`
+		Degraded      bool            `json:"degraded"`
+		DegradedCause string          `json:"degraded_cause,omitempty"`
+		DegradedError string          `json:"degraded_error,omitempty"`
+		Storage       *healthStorage  `json:"storage,omitempty"`
+		Recovered     *RecoveredState `json:"recovered,omitempty"`
+	}{Status: status, Draining: s.Draining(), Degraded: degraded, DegradedCause: cause, DegradedError: detail, Recovered: s.Recovered()}
+	if st := s.Store(); st != nil {
+		h := st.Health()
+		resp.Storage = &healthStorage{WALFailed: h.WALFailed, TicketBroken: h.TicketBroken, TicketDropped: h.TicketDropped}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // retryAfterSeconds rounds a wait up to whole seconds, minimum 1 (the

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"graphm/internal/faultfs"
 	"graphm/internal/graph"
 )
 
@@ -133,7 +134,7 @@ type CheckpointData struct {
 
 // WriteCheckpoint atomically persists a checkpoint covering WAL segments
 // < walSeg.
-func WriteCheckpoint(dir string, walSeg int, state CheckpointState, noSync bool) error {
+func WriteCheckpoint(fsys faultfs.FS, dir string, walSeg int, state CheckpointState, noSync bool) error {
 	buf := []byte(checkpointMagic)
 	var scratch [binary.MaxVarintLen64]byte
 	put := func(v uint64) {
@@ -169,35 +170,37 @@ func WriteCheckpoint(dir string, walSeg int, state CheckpointState, noSync bool)
 	buf = append(buf, crcBuf[:]...)
 
 	tmp := filepath.Join(dir, checkpointName(walSeg)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
-		f.Close()
+		_ = f.Close() //nolint:discarded // annotated: write already failed
 		return err
 	}
 	if !noSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close() //nolint:discarded // annotated: sync already failed
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, checkpointName(walSeg))); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, checkpointName(walSeg))); err != nil {
 		return err
 	}
 	if !noSync {
-		syncDir(dir)
+		if err := fsys.SyncDir(dir); err != nil {
+			return fmt.Errorf("storage: checkpoint dir sync: %w", err)
+		}
 	}
 	return nil
 }
 
 // readCheckpoint decodes one checkpoint file, verifying its CRC.
-func readCheckpoint(path string, walSeg int) (*CheckpointData, error) {
-	data, err := os.ReadFile(path)
+func readCheckpoint(fsys faultfs.FS, path string, walSeg int) (*CheckpointData, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -289,8 +292,8 @@ func readCheckpoint(path string, walSeg int) (*CheckpointData, error) {
 // LatestCheckpoint loads the newest valid checkpoint in dir, or nil if none
 // exists. A checkpoint that fails validation (interrupted write that still
 // got renamed, bit rot) is skipped in favor of the next-newest valid one.
-func LatestCheckpoint(dir string) (*CheckpointData, error) {
-	entries, err := os.ReadDir(dir)
+func LatestCheckpoint(fsys faultfs.FS, dir string) (*CheckpointData, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -306,7 +309,7 @@ func LatestCheckpoint(dir string) (*CheckpointData, error) {
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(segs)))
 	for _, seg := range segs {
-		ck, err := readCheckpoint(filepath.Join(dir, checkpointName(seg)), seg)
+		ck, err := readCheckpoint(fsys, filepath.Join(dir, checkpointName(seg)), seg)
 		if err == nil {
 			return ck, nil
 		}
@@ -316,15 +319,15 @@ func LatestCheckpoint(dir string) (*CheckpointData, error) {
 
 // RemoveCheckpointsBefore deletes checkpoints older than walSeg, keeping the
 // one named walSeg (the active recovery base).
-func RemoveCheckpointsBefore(dir string, walSeg int) error {
-	entries, err := os.ReadDir(dir)
+func RemoveCheckpointsBefore(fsys faultfs.FS, dir string, walSeg int) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
 		var n int
 		if _, err := fmt.Sscanf(e.Name(), "checkpoint-%08d.ck", &n); err == nil && e.Name() == checkpointName(n) && n < walSeg {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
 				return err
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"graphm/internal/faultfs"
 	"graphm/internal/graph"
 )
 
@@ -103,7 +104,7 @@ func partsEqual(a, b map[int][]graph.Edge) bool {
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	if ck, err := LatestCheckpoint(dir); err != nil || ck != nil {
+	if ck, err := LatestCheckpoint(faultfs.OS{}, dir); err != nil || ck != nil {
 		t.Fatalf("empty dir: ck=%v err=%v", ck, err)
 	}
 	parts := testParts()
@@ -111,10 +112,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		{JobID: 4, PartID: 0, Edges: []graph.Edge{{Src: 0, Dst: 9, Weight: 1}}},
 		{JobID: 11, PartID: 3, Edges: nil},
 	}
-	if err := WriteCheckpoint(dir, 2, CheckpointState{Version: 17, Partitions: parts, Overrides: ovs}, true); err != nil {
+	if err := WriteCheckpoint(faultfs.OS{}, dir, 2, CheckpointState{Version: 17, Partitions: parts, Overrides: ovs}, true); err != nil {
 		t.Fatal(err)
 	}
-	ck, err := LatestCheckpoint(dir)
+	ck, err := LatestCheckpoint(faultfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +144,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestLatestCheckpointSkipsCorrupt(t *testing.T) {
 	dir := t.TempDir()
-	if err := WriteCheckpoint(dir, 1, CheckpointState{Version: 5, Partitions: testParts()}, true); err != nil {
+	if err := WriteCheckpoint(faultfs.OS{}, dir, 1, CheckpointState{Version: 5, Partitions: testParts()}, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteCheckpoint(dir, 4, CheckpointState{Version: 9, Partitions: testParts()}, true); err != nil {
+	if err := WriteCheckpoint(faultfs.OS{}, dir, 4, CheckpointState{Version: 9, Partitions: testParts()}, true); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the newest: recovery must fall back to the older valid one.
@@ -155,7 +156,7 @@ func TestLatestCheckpointSkipsCorrupt(t *testing.T) {
 	data[len(data)/2] ^= 0xFF
 	os.WriteFile(newest, data, 0o644)
 
-	ck, err := LatestCheckpoint(dir)
+	ck, err := LatestCheckpoint(faultfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +168,11 @@ func TestLatestCheckpointSkipsCorrupt(t *testing.T) {
 func TestRemoveCheckpointsBefore(t *testing.T) {
 	dir := t.TempDir()
 	for _, seg := range []int{1, 3, 6} {
-		if err := WriteCheckpoint(dir, seg, CheckpointState{Version: uint64(seg), Partitions: testParts()}, true); err != nil {
+		if err := WriteCheckpoint(faultfs.OS{}, dir, seg, CheckpointState{Version: uint64(seg), Partitions: testParts()}, true); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := RemoveCheckpointsBefore(dir, 6); err != nil {
+	if err := RemoveCheckpointsBefore(faultfs.OS{}, dir, 6); err != nil {
 		t.Fatal(err)
 	}
 	for _, seg := range []int{1, 3} {
@@ -179,7 +180,7 @@ func TestRemoveCheckpointsBefore(t *testing.T) {
 			t.Fatalf("checkpoint %d survived GC", seg)
 		}
 	}
-	ck, err := LatestCheckpoint(dir)
+	ck, err := LatestCheckpoint(faultfs.OS{}, dir)
 	if err != nil || ck == nil || ck.WALSegment != 6 {
 		t.Fatalf("ck=%+v err=%v, want seg 6", ck, err)
 	}

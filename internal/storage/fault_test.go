@@ -1,0 +1,465 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graphm/internal/faultfs"
+	"graphm/internal/graph"
+)
+
+// noSleep is an instant RetryPolicy sleeper recording requested backoffs.
+func noSleep(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+func testEdges(n int) []graph.Edge {
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1}
+	}
+	return edges
+}
+
+func openFaultStore(t *testing.T, dir, schedule string) (*Store, *Recovery, *faultfs.Injector) {
+	t.Helper()
+	sched, err := faultfs.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.New(faultfs.OS{}, sched, nil)
+	var delays []time.Duration
+	st, rec, err := Open(dir, StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     inj,
+		Retry:                  RetryPolicy{Sleep: noSleep(&delays)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, rec, inj
+}
+
+// TestWALTransientSyncFaultRetried: one injected fsync failure is absorbed
+// by the truncate-rewrite retry; the commit still acknowledges and the
+// record survives recovery.
+func TestWALTransientSyncFaultRetried(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openFaultStore(t, dir, "sync:fail:path=wal-:count=1")
+	commit, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatalf("commit after transient fault: %v", err)
+	}
+	if stats := st.WALStats(); stats.Retries == 0 {
+		t.Fatal("retry path did not run")
+	}
+	if !st.Health().Healthy() {
+		t.Fatal("store unhealthy after absorbed transient fault")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Evolves) != 1 || len(rec.Evolves[0].Edges) != 3 {
+		t.Fatalf("recovered %d evolves", len(rec.Evolves))
+	}
+}
+
+// TestWALTornWriteRetried: a torn batch write is repaired (truncate to the
+// durable offset, rewrite whole batch); recovery sees every record intact.
+func TestWALTornWriteRetried(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openFaultStore(t, dir, "write:torn:path=wal-:count=1")
+	for i := 0; i < 3; i++ {
+		commit, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Evolves) != 3 {
+		t.Fatalf("recovered %d evolves, want 3", len(rec.Evolves))
+	}
+}
+
+// TestWALPersistentFailureLatchesAndProbeRearms: when retries exhaust, the
+// commit fails with ErrDurability, the WAL latches failed (appends refused,
+// never silently dropped), and Probe repairs + re-arms once the fault
+// clears. Nothing unacknowledged survives to recovery.
+func TestWALPersistentFailureLatchesAndProbeRearms(t *testing.T) {
+	dir := t.TempDir()
+	st, _, inj := openFaultStore(t, dir, "sync:fail:path=wal-")
+	commit, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = commit()
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("commit err = %v, want ErrDurability", err)
+	}
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("commit err = %v, want cause chain to reach ErrInjected", err)
+	}
+	if h := st.Health(); !h.WALFailed || h.Healthy() {
+		t.Fatalf("health after exhausted retries = %+v", h)
+	}
+	// The failed WAL refuses new appends instead of queueing them.
+	if _, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(1)}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append on failed WAL = %v, want ErrDurability", err)
+	}
+	// While the fault persists, the probe fails too.
+	if err := st.Probe(); err == nil {
+		t.Fatal("probe succeeded while fault schedule is armed")
+	}
+	inj.Disarm()
+	if err := st.Probe(); err != nil {
+		t.Fatalf("probe after fault cleared: %v", err)
+	}
+	if h := st.Health(); !h.Healthy() {
+		t.Fatalf("health after probe = %+v", h)
+	}
+	commit, err = st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(5)})
+	if err != nil {
+		t.Fatalf("append after re-arm: %v", err)
+	}
+	if err := commit(); err != nil {
+		t.Fatalf("commit after re-arm: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the acknowledged record survives; the failed batch was truncated.
+	if len(rec.Evolves) != 1 || len(rec.Evolves[0].Edges) != 5 {
+		t.Fatalf("recovered evolves = %+v", rec.Evolves)
+	}
+}
+
+// TestLogSubmitTransientAndPersistentFaults: a transient ticket-log fsync
+// failure is retried invisibly; a persistent one returns ErrDurability and
+// the unacknowledged line is truncated away so the log never poisons.
+func TestLogSubmitTransientAndPersistentFaults(t *testing.T) {
+	dir := t.TempDir()
+	st, _, inj := openFaultStore(t, dir, "sync:fail:path=tickets:count=1")
+	if err := st.LogSubmit(1, "a", "pagerank", 7); err != nil {
+		t.Fatalf("submit with transient fault: %v", err)
+	}
+	// Persistent fault: every sync on tickets.log fails.
+	sched, _ := faultfs.ParseSchedule("sync:fail:path=tickets")
+	inj.SetSchedule(sched)
+	err := st.LogSubmit(2, "b", "wcc", 8)
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("submit err = %v, want ErrDurability", err)
+	}
+	inj.Disarm()
+	if err := st.Probe(); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if err := st.LogSubmit(3, "c", "bfs", 9); err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ticket 2 was never acknowledged; tickets 1 and 3 must both be pending.
+	if len(rec.Pending) != 2 || rec.Pending[0].ID != 1 || rec.Pending[1].ID != 3 {
+		t.Fatalf("pending = %+v", rec.Pending)
+	}
+	if rec.NextTicketID != 4 {
+		t.Fatalf("NextTicketID = %d", rec.NextTicketID)
+	}
+}
+
+// TestLogTerminalDropCountedAndTailRepaired: persistent terminal-line write
+// failures are counted, and a torn terminal line is truncated so later
+// lines still parse.
+func TestLogTerminalDropCountedAndTailRepaired(t *testing.T) {
+	dir := t.TempDir()
+	st, _, inj := openFaultStore(t, dir, "")
+	if err := st.LogSubmit(1, "a", "pagerank", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(2, "a", "wcc", 8); err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := faultfs.ParseSchedule("write:torn:path=tickets")
+	inj.SetSchedule(sched)
+	st.LogTerminal(1, "done")
+	if got := st.TicketLogDropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	if h := st.Health(); !h.TicketBroken {
+		t.Fatalf("health = %+v, want TicketBroken", h)
+	}
+	inj.Disarm()
+	// The next append repairs the torn tail before writing.
+	st.LogTerminal(2, "canceled")
+	if got := st.TicketLogDropped(); got != 1 {
+		t.Fatalf("dropped after recovery = %d, want 1", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ticket 1's terminal line was dropped (still pending — safe, idempotent
+	// re-run); ticket 2's line survived the repair.
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != 1 {
+		t.Fatalf("pending = %+v", rec.Pending)
+	}
+	if rec.Counts.Canceled != 1 {
+		t.Fatalf("counts = %+v", rec.Counts)
+	}
+}
+
+// TestCloseReportsTicketSyncFailure: Store.Close propagates the final
+// ticket-log sync error instead of swallowing it.
+func TestCloseReportsTicketSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, _, inj := openFaultStore(t, dir, "")
+	if err := st.LogSubmit(1, "a", "pagerank", 7); err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := faultfs.ParseSchedule("sync:fail:path=tickets")
+	inj.SetSchedule(sched)
+	if err := st.Close(); err == nil {
+		t.Fatal("Close swallowed the ticket log sync failure")
+	}
+}
+
+// TestCheckpointRenameFailureMidTwoPhase: a rename fault between temp write
+// and install leaves only an ignorable .tmp file; the store stays usable
+// and the next checkpoint succeeds.
+func TestCheckpointRenameFailureMidTwoPhase(t *testing.T) {
+	dir := t.TempDir()
+	st, _, inj := openFaultStore(t, dir, "rename:fail:path=checkpoint-")
+	commit, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	state := CheckpointState{Version: 1, Partitions: map[int][]graph.Edge{0: testEdges(4)}}
+	write, err := st.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(state); err == nil {
+		t.Fatal("checkpoint write succeeded despite rename fault")
+	}
+	// Only the temp file exists; LatestCheckpoint ignores it.
+	if ck, err := LatestCheckpoint(faultfs.OS{}, dir); err != nil || ck != nil {
+		t.Fatalf("LatestCheckpoint after failed rename = %v, %v", ck, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	sawTmp := false
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			sawTmp = true
+		}
+	}
+	if !sawTmp {
+		t.Fatal("expected orphaned .tmp checkpoint file")
+	}
+	// WAL records covering the state are still there: recovery loses nothing.
+	inj.Disarm()
+	write, err = st.BeginCheckpoint()
+	if err != nil {
+		t.Fatalf("second BeginCheckpoint: %v", err)
+	}
+	if err := write(state); err != nil {
+		t.Fatalf("second checkpoint: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasCheckpoint || rec.CheckpointVersion != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+}
+
+// TestSealedSegmentCorruptionIsError: damage in a sealed (non-newest) WAL
+// segment fails recovery loudly instead of silently dropping records.
+func TestSealedSegmentCorruptionIsError(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openFaultStore(t, dir, "")
+	commit, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.wal.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commit, err = st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the sealed segment 0.
+	seg0 := filepath.Join(dir, walSegmentName(0))
+	data, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(seg0, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, StoreOptions{NoSync: true}); err == nil {
+		t.Fatal("recovery accepted a corrupt sealed segment")
+	}
+}
+
+// TestTornTicketLogTail: a partial final line (crash mid-append) is
+// truncated at recovery; whole lines before it all survive.
+func TestTornTicketLogTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openFaultStore(t, dir, "")
+	if err := st.LogSubmit(1, "a", "pagerank", 7); err != nil {
+		t.Fatal(err)
+	}
+	st.LogTerminal(1, "done")
+	if err := st.LogSubmit(2, "b", "wcc", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tickets.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Fprintf(f, "end 2 do"); err != nil { // torn: no newline, half a status
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != 2 {
+		t.Fatalf("pending = %+v", rec.Pending)
+	}
+	if rec.Counts.Done != 1 || rec.Counts.Submitted != 2 {
+		t.Fatalf("counts = %+v", rec.Counts)
+	}
+	// The torn bytes were truncated: appending works and parses cleanly.
+	st2.LogTerminal(2, "done")
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Pending) != 0 || rec2.Counts.Done != 2 {
+		t.Fatalf("after repair: pending=%+v counts=%+v", rec2.Pending, rec2.Counts)
+	}
+}
+
+// TestCrashFreezesDurableState: after Crash, every durable write is refused
+// or dropped and Close flushes nothing — the data directory holds exactly
+// what was durable at the crash point.
+func TestCrashFreezesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openFaultStore(t, dir, "")
+	if err := st.LogSubmit(1, "a", "pagerank", 7); err != nil {
+		t.Fatal(err)
+	}
+	commit, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := st.TicketLogBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Crash()
+	if err := st.LogSubmit(2, "b", "wcc", 8); !errors.Is(err, ErrDurability) {
+		t.Fatalf("submit after crash = %v", err)
+	}
+	if _, err := st.AppendEvolve(EvolveRecord{Op: EvolveAdd, Edges: testEdges(1)}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append after crash = %v", err)
+	}
+	st.LogTerminal(1, "canceled") // dropped silently: the process is "dead"
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close after crash: %v", err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "tickets.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("ticket log changed after crash:\n%q\nvs\n%q", before, after)
+	}
+	_, rec, err := Open(dir, StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != 1 || len(rec.Evolves) != 1 {
+		t.Fatalf("recovered state = pending %+v, evolves %d", rec.Pending, len(rec.Evolves))
+	}
+}
+
+// TestRetryPolicyBackoff: backoff doubles from BaseDelay and caps at
+// MaxDelay.
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 18 * time.Millisecond}.normalized()
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 18 * time.Millisecond, 18 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	d := RetryPolicy{}.normalized()
+	if d.Attempts != 4 || d.BaseDelay == 0 || d.MaxDelay == 0 || d.Sleep == nil {
+		t.Fatalf("defaults = %+v", d)
+	}
+}

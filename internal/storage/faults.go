@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrDurability marks an error from the durable path that survived retries:
+// the operation was NOT made durable and the caller must not acknowledge it.
+// The server uses errors.Is(err, ErrDurability) to distinguish "storage is
+// sick, go degraded and answer 503" from a caller mistake (400).
+var ErrDurability = errors.New("storage: durable path failed")
+
+// RetryPolicy bounds the capped-exponential-backoff retry loop the WAL and
+// ticket log run when a durable write fails: a transient fault (one injected
+// fsync error, a blip of ENOSPC) is absorbed invisibly; a persistent fault
+// exhausts the budget and surfaces as ErrDurability.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first; 0 means the
+	// default (4). 1 disables retries.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles per retry.
+	// 0 means the default (5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means the default (250ms).
+	MaxDelay time.Duration
+	// Sleep replaces time.Sleep; tests inject an instant sleeper and record
+	// the requested delays. nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Attempts == 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the delay before retry number attempt (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}

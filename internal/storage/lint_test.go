@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestNoDiscardedErrors enforces the package's durability discipline: no
+// `_ = f()` (or `_, _ = f()`) assignments that throw away a call's result —
+// historically how fsync errors went missing here. A site that genuinely
+// has nothing to do with the error must carry a `//nolint:discarded`
+// comment on the same line explaining why.
+func TestNoDiscardedErrors(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			annotated := map[int]bool{}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "nolint:discarded") {
+						annotated[fset.Position(c.Pos()).Line] = true
+					}
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				allBlank := len(as.Lhs) > 0
+				for _, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if !allBlank {
+					return true
+				}
+				if len(as.Rhs) != 1 {
+					return true
+				}
+				if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+					return true
+				}
+				pos := fset.Position(as.Pos())
+				if !annotated[pos.Line] {
+					t.Errorf("%s:%d: discarded call result (annotate with //nolint:discarded and a reason, or handle the error)", pos.Filename, pos.Line)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"graphm/internal/faultfs"
 	"graphm/internal/graph"
 )
 
@@ -20,13 +22,26 @@ import (
 //
 // Open replays checkpoint + WAL + ticket log into a Recovery that the daemon
 // uses to rebuild the snapshot store and re-admit in-flight tickets.
+//
+// Every filesystem operation goes through the faultfs seam in StoreOptions,
+// so tests drive all durable paths through injected failure; the retry
+// policies and the failed-state latching give the daemon its graceful
+// degradation story (see Probe).
 type Store struct {
 	dir  string
 	opts StoreOptions
+	fsys faultfs.FS
 	wal  *WAL
 
-	ticketMu sync.Mutex
-	ticketF  *os.File
+	ticketMu     sync.Mutex
+	ticketF      faultfs.File
+	ticketGood   int64 // bytes known fully written to tickets.log
+	ticketBroken bool  // torn tail could not be repaired; cleared by Probe
+	ticketClosed bool
+
+	ticketDropped atomic.Uint64 // terminal lines lost to write errors
+
+	crashed atomic.Bool
 
 	ckMu          sync.Mutex
 	recordsSince  int
@@ -41,6 +56,12 @@ type StoreOptions struct {
 	// WAL records since the last checkpoint. Zero means the default (256);
 	// negative disables cadence-based checkpoints.
 	CheckpointEveryRecords int
+	// FS is the filesystem seam; nil means the real filesystem. Tests pass a
+	// *faultfs.Injector to schedule failures on any durable operation.
+	FS faultfs.FS
+	// Retry bounds the WAL flush and ticket-log write recovery loops;
+	// zero-value means the package defaults (4 attempts, 5ms..250ms backoff).
+	Retry RetryPolicy
 }
 
 func (o StoreOptions) cadence() int {
@@ -172,12 +193,16 @@ type Recovery struct {
 
 // Open opens (creating if needed) the data directory and replays its state.
 func Open(dir string, opts StoreOptions) (*Store, *Recovery, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
 	rec := &Recovery{NextTicketID: 1}
 
-	ck, err := LatestCheckpoint(dir)
+	ck, err := LatestCheckpoint(fsys, dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -191,7 +216,7 @@ func Open(dir string, opts StoreOptions) (*Store, *Recovery, error) {
 	}
 
 	var decodeErr error
-	n, err := ReadWALFrom(dir, fromSeg, func(payload []byte) {
+	n, err := ReadWALFrom(fsys, dir, fromSeg, func(payload []byte) {
 		if decodeErr != nil {
 			return
 		}
@@ -210,35 +235,37 @@ func Open(dir string, opts StoreOptions) (*Store, *Recovery, error) {
 	}
 	rec.WALRecords = n
 
-	wal, err := OpenWAL(dir, opts.NoSync)
+	wal, err := OpenWAL(dir, WALOptions{NoSync: opts.NoSync, FS: fsys, Retry: opts.Retry})
 	if err != nil {
 		return nil, nil, err
 	}
 
-	if err := recoverTicketLog(filepath.Join(dir, "tickets.log"), rec); err != nil {
-		wal.Close()
+	ticketGood, err := recoverTicketLog(fsys, filepath.Join(dir, "tickets.log"), rec)
+	if err != nil {
+		_ = wal.Close() //nolint:discarded // annotated: already failing with the recovery error
 		return nil, nil, err
 	}
-	ticketF, err := os.OpenFile(filepath.Join(dir, "tickets.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	ticketF, err := fsys.OpenFile(filepath.Join(dir, "tickets.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		wal.Close()
+		_ = wal.Close() //nolint:discarded // annotated: already failing with the open error
 		return nil, nil, err
 	}
 
-	return &Store{dir: dir, opts: opts, wal: wal, ticketF: ticketF}, rec, nil
+	return &Store{dir: dir, opts: opts, fsys: fsys, wal: wal, ticketF: ticketF, ticketGood: ticketGood}, rec, nil
 }
 
 // recoverTicketLog parses the append-only ticket log, truncating any
-// unparseable tail (a crash mid-append). Lines are either
-// "submit <id> <tenant> <algo> <seed>" or "end <id> <status>"; tenant is
-// %q-quoted so arbitrary printable tenant keys round-trip.
-func recoverTicketLog(path string, rec *Recovery) error {
-	data, err := os.ReadFile(path)
+// unparseable tail (a crash mid-append), and returns the surviving length.
+// Lines are either "submit <id> <tenant> <algo> <seed>" or
+// "end <id> <status>"; tenant is %q-quoted so arbitrary printable tenant
+// keys round-trip.
+func recoverTicketLog(fsys faultfs.FS, path string, rec *Recovery) (int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	var order []int
 	byID := make(map[int]*submitted)
@@ -255,8 +282,8 @@ func recoverTicketLog(path string, rec *Recovery) error {
 		good += nl + 1
 	}
 	if good != len(data) {
-		if err := os.Truncate(path, int64(good)); err != nil {
-			return err
+		if err := fsys.Truncate(path, int64(good)); err != nil {
+			return 0, err
 		}
 	}
 	maxID := 0
@@ -272,7 +299,7 @@ func recoverTicketLog(path string, rec *Recovery) error {
 	if maxID >= rec.NextTicketID {
 		rec.NextTicketID = maxID + 1
 	}
-	return nil
+	return int64(good), nil
 }
 
 // submitted tracks one ticket while parsing the log.
@@ -325,6 +352,9 @@ func parseTicketLine(line string, byID map[int]*submitted, order *[]int, counts 
 
 // AppendEvolve implements EvolveSink over the WAL.
 func (s *Store) AppendEvolve(rec EvolveRecord) (func() error, error) {
+	if s.crashed.Load() {
+		return nil, fmt.Errorf("storage: append to crashed store: %w", ErrDurability)
+	}
 	commit, err := s.wal.Append(encodeEvolve(rec))
 	if err != nil {
 		return nil, err
@@ -359,6 +389,9 @@ type Checkpointer interface {
 // captured state and garbage-collects covered segments and older
 // checkpoints. The write func runs without any core lock held.
 func (s *Store) BeginCheckpoint() (func(state CheckpointState) error, error) {
+	if s.crashed.Load() {
+		return nil, fmt.Errorf("storage: checkpoint of crashed store: %w", ErrDurability)
+	}
 	s.ckMu.Lock()
 	if s.checkpointing {
 		s.ckMu.Unlock()
@@ -375,7 +408,7 @@ func (s *Store) BeginCheckpoint() (func(state CheckpointState) error, error) {
 		return nil, err
 	}
 	return func(state CheckpointState) error {
-		err := WriteCheckpoint(s.dir, seg, state, s.opts.NoSync)
+		err := WriteCheckpoint(s.fsys, s.dir, seg, state, s.opts.NoSync)
 		s.ckMu.Lock()
 		s.checkpointing = false
 		if err == nil {
@@ -383,37 +416,182 @@ func (s *Store) BeginCheckpoint() (func(state CheckpointState) error, error) {
 		}
 		s.ckMu.Unlock()
 		if err != nil {
-			return err
+			// A failed checkpoint loses nothing (the WAL still covers the
+			// state) but is a durable-path fault the daemon should degrade
+			// on if it persists.
+			return fmt.Errorf("storage: checkpoint: %w (%w)", ErrDurability, err)
 		}
 		if err := s.wal.RemoveSegmentsBefore(seg); err != nil {
-			return err
+			return fmt.Errorf("storage: checkpoint GC: %w (%w)", ErrDurability, err)
 		}
-		return RemoveCheckpointsBefore(s.dir, seg)
+		if err := RemoveCheckpointsBefore(s.fsys, s.dir, seg); err != nil {
+			return fmt.Errorf("storage: checkpoint GC: %w (%w)", ErrDurability, err)
+		}
+		return nil
 	}, nil
+}
+
+// appendTicketLine writes one line to the ticket log with torn-tail repair:
+// a partial write would poison every later line at recovery (the parser
+// truncates at the first bad line), so any failure truncates back to the
+// last fully-written offset and rewrites, under the retry policy. sync
+// additionally fsyncs after the write (the submit path; terminal lines are
+// best-effort). Callers hold ticketMu.
+func (s *Store) appendTicketLine(line string, sync bool) error {
+	if s.ticketClosed {
+		return fmt.Errorf("storage: ticket log closed")
+	}
+	p := s.opts.Retry.normalized()
+	path := filepath.Join(s.dir, "tickets.log")
+	var cause error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			p.Sleep(p.backoff(attempt))
+		}
+		if s.ticketBroken || s.ticketF == nil {
+			// A failed attempt may have left a torn or unacknowledged tail:
+			// close the suspect handle, truncate back to the last good
+			// offset, reopen.
+			if s.ticketF != nil {
+				_ = s.ticketF.Close() //nolint:discarded // annotated: closing an already-failed handle
+				s.ticketF = nil
+			}
+			if err := s.fsys.Truncate(path, s.ticketGood); err != nil {
+				cause = err
+				continue
+			}
+			f, err := s.fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				cause = err
+				continue
+			}
+			s.ticketF = f
+			s.ticketBroken = false
+		}
+		if _, err := fmt.Fprint(s.ticketF, line); err != nil {
+			cause = err
+			s.ticketBroken = true
+			continue
+		}
+		if sync && !s.opts.NoSync {
+			if err := s.ticketF.Sync(); err != nil {
+				// The bytes are written but not durable; the tail must be
+				// truncated before the line can be retried or the log
+				// appended to again.
+				cause = err
+				s.ticketBroken = true
+				continue
+			}
+		}
+		s.ticketGood += int64(len(line))
+		return nil
+	}
+	return fmt.Errorf("storage: ticket log write failed after %d attempts: %w (%w)", p.Attempts, ErrDurability, cause)
 }
 
 // LogSubmit durably appends a ticket submission. It must return before the
 // submission is acknowledged to the client: a crash after ack must find the
 // ticket in the log.
 func (s *Store) LogSubmit(id int, tenant, algo string, seed int64) error {
+	if s.crashed.Load() {
+		return fmt.Errorf("storage: submit to crashed store: %w", ErrDurability)
+	}
 	s.ticketMu.Lock()
 	defer s.ticketMu.Unlock()
-	if _, err := fmt.Fprintf(s.ticketF, "submit %d %q %s %d\n", id, tenant, algo, seed); err != nil {
-		return err
-	}
-	if s.opts.NoSync {
-		return nil
-	}
-	return s.ticketF.Sync()
+	return s.appendTicketLine(fmt.Sprintf("submit %d %q %s %d\n", id, tenant, algo, seed), true)
 }
 
 // LogTerminal appends a ticket's terminal transition. Best-effort (no sync):
 // losing a terminal line re-runs an idempotent job after a crash, which is
 // safe; losing a submit line would drop an acknowledged job, which is not.
+// Lines lost to persistent write errors are counted (TicketLogDropped) and
+// surfaced on /healthz rather than silently swallowed.
 func (s *Store) LogTerminal(id int, status string) {
+	if s.crashed.Load() {
+		return
+	}
 	s.ticketMu.Lock()
-	fmt.Fprintf(s.ticketF, "end %d %s\n", id, status)
+	err := s.appendTicketLine(fmt.Sprintf("end %d %s\n", id, status), false)
 	s.ticketMu.Unlock()
+	if err != nil {
+		s.ticketDropped.Add(1)
+	}
+}
+
+// TicketLogDropped counts terminal lines lost to persistent write errors.
+func (s *Store) TicketLogDropped() uint64 { return s.ticketDropped.Load() }
+
+// Health is the store's durability health snapshot, surfaced on /healthz.
+type Health struct {
+	// WALFailed: the WAL latched into the failed state (appends refused).
+	WALFailed bool
+	// TicketBroken: the ticket log tail is torn and unrepaired.
+	TicketBroken bool
+	// TicketDropped: terminal lines lost to write errors, lifetime.
+	TicketDropped uint64
+}
+
+// Healthy reports whether the durable path is fully operational.
+func (h Health) Healthy() bool { return !h.WALFailed && !h.TicketBroken }
+
+// Health returns the current durability health snapshot.
+func (s *Store) Health() Health {
+	h := Health{TicketDropped: s.ticketDropped.Load()}
+	h.WALFailed = s.wal.Stats().Failed
+	s.ticketMu.Lock()
+	h.TicketBroken = s.ticketBroken
+	s.ticketMu.Unlock()
+	return h
+}
+
+// Probe actively checks the durable path end to end — WAL segment repair +
+// fsync, ticket log repair + fsync — and re-arms any latched failure. The
+// daemon calls it periodically while degraded; a nil return means the store
+// is healthy again and writes may resume.
+func (s *Store) Probe() error {
+	if s.crashed.Load() {
+		return fmt.Errorf("storage: probe of crashed store")
+	}
+	if err := s.wal.Probe(); err != nil {
+		return err
+	}
+	s.ticketMu.Lock()
+	defer s.ticketMu.Unlock()
+	if s.ticketClosed {
+		return fmt.Errorf("storage: ticket log closed")
+	}
+	path := filepath.Join(s.dir, "tickets.log")
+	if s.ticketBroken || s.ticketF == nil {
+		if s.ticketF != nil {
+			_ = s.ticketF.Close() //nolint:discarded // annotated: closing an already-failed handle
+			s.ticketF = nil
+		}
+		if err := s.fsys.Truncate(path, s.ticketGood); err != nil {
+			return fmt.Errorf("storage: probe ticket truncate: %w", err)
+		}
+		f, err := s.fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("storage: probe ticket reopen: %w", err)
+		}
+		s.ticketF = f
+		s.ticketBroken = false
+	}
+	if !s.opts.NoSync && s.ticketF != nil {
+		if err := s.ticketF.Sync(); err != nil {
+			return fmt.Errorf("storage: probe ticket sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Crash simulates process death for the chaos harness: every later durable
+// write is refused or dropped (exactly as if the process had died), and
+// Close skips final flushes, so the data directory holds precisely what was
+// durable at the moment of the crash. The in-memory Store stays safe to
+// shut down through the normal service path.
+func (s *Store) Crash() {
+	s.crashed.Store(true)
+	s.wal.crash()
 }
 
 // TicketLogBytes returns the current ticket log contents (test hook for the
@@ -421,7 +599,7 @@ func (s *Store) LogTerminal(id int, status string) {
 func (s *Store) TicketLogBytes() ([]byte, error) {
 	s.ticketMu.Lock()
 	defer s.ticketMu.Unlock()
-	return os.ReadFile(filepath.Join(s.dir, "tickets.log"))
+	return s.fsys.ReadFile(filepath.Join(s.dir, "tickets.log"))
 }
 
 // WALStats exposes the underlying log's group-commit counters.
@@ -430,15 +608,20 @@ func (s *Store) WALStats() WALStats { return s.wal.Stats() }
 // Dir returns the data directory path.
 func (s *Store) Dir() string { return s.dir }
 
-// Close flushes and closes the WAL and ticket log.
+// Close flushes and closes the WAL and ticket log, reporting the first
+// flush or sync failure: a clean shutdown that could not make its final
+// writes durable is not a clean shutdown.
 func (s *Store) Close() error {
 	err := s.wal.Close()
 	s.ticketMu.Lock()
+	s.ticketClosed = true
 	if s.ticketF != nil {
-		if !s.opts.NoSync {
-			_ = s.ticketF.Sync()
+		if !s.opts.NoSync && !s.crashed.Load() {
+			if serr := s.ticketF.Sync(); serr != nil && err == nil {
+				err = fmt.Errorf("storage: ticket log final sync: %w", serr)
+			}
 		}
-		if cerr := s.ticketF.Close(); err == nil {
+		if cerr := s.ticketF.Close(); cerr != nil && err == nil && !s.crashed.Load() {
 			err = cerr
 		}
 		s.ticketF = nil

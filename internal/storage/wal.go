@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"graphm/internal/faultfs"
 )
 
 // WAL is a segmented, batched write-ahead log with group commit. Appends
@@ -21,21 +23,35 @@ import (
 // the payload (4 bytes little-endian). A crash can leave a torn final
 // record; Open truncates the damaged tail of the newest segment and resumes
 // appending after the last whole record.
+//
+// Failure handling: the flusher tracks goodOff, the durable byte offset of
+// the current segment. A failed write or fsync may leave torn bytes past
+// goodOff, so recovery is truncate-to-goodOff, reopen, rewrite the whole
+// batch, fsync — under the WALOptions.Retry backoff policy. A batch that
+// exhausts its retries fails with ErrDurability and latches the log into a
+// failed state: further Appends are refused (never silently dropped) until
+// Probe repairs the segment and re-arms the log.
 type WAL struct {
 	dir    string
 	noSync bool
+	fsys   faultfs.FS
+	retry  RetryPolicy
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	f        *os.File
+	f        faultfs.File
 	seg      int
+	goodOff  int64 // durable bytes in the current segment
 	cur      *walBatch
 	flushing bool
 	closed   bool
+	failed   bool // retries exhausted; cleared by Probe
+	crashed  bool // simulated crash: refuse all writes, Close skips syncs
 
 	appends  uint64
 	batches  uint64
 	syncs    uint64
+	retries  uint64
 	walBytes uint64
 }
 
@@ -46,13 +62,28 @@ type walBatch struct {
 }
 
 // WALStats is a snapshot of the log's group-commit counters. A Syncs count
-// well below Appends is the fsync-coalescing win the batched design buys.
+// well below Appends is the fsync-coalescing win the batched design buys;
+// Retries counts flushes that needed the truncate-rewrite recovery path.
 type WALStats struct {
 	Appends uint64
 	Batches uint64
 	Syncs   uint64
+	Retries uint64
 	Bytes   uint64
 	Segment int
+	Failed  bool
+}
+
+// WALOptions tunes a log opened by OpenWAL.
+type WALOptions struct {
+	// NoSync skips fsyncs for tests and benchmarks that measure batching
+	// alone.
+	NoSync bool
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS faultfs.FS
+	// Retry bounds the flush-failure recovery loop; zero-value means the
+	// package defaults.
+	Retry RetryPolicy
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -60,8 +91,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 func walSegmentName(seg int) string { return fmt.Sprintf("wal-%08d.log", seg) }
 
 // walSegments lists existing segment numbers in dir, ascending.
-func walSegments(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func walSegments(fsys faultfs.FS, dir string) ([]int, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -77,46 +108,55 @@ func walSegments(dir string) ([]int, error) {
 }
 
 // OpenWAL opens (or creates) the log in dir, repairing any torn tail left by
-// a crash in the newest segment. noSync skips fsyncs for tests and
-// benchmarks that measure batching alone.
-func OpenWAL(dir string, noSync bool) (*WAL, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// a crash in the newest segment.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	segs, err := walSegments(dir)
+	segs, err := walSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	seg := 0
+	var goodOff int64
 	if len(segs) > 0 {
 		seg = segs[len(segs)-1]
-		if err := repairSegment(filepath.Join(dir, walSegmentName(seg))); err != nil {
+		goodOff, err = repairSegment(fsys, filepath.Join(dir, walSegmentName(seg)))
+		if err != nil {
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(filepath.Join(dir, walSegmentName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, walSegmentName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, noSync: noSync, f: f, seg: seg}
+	w := &WAL{dir: dir, noSync: opts.NoSync, fsys: fsys, retry: opts.Retry.normalized(), f: f, seg: seg, goodOff: goodOff}
 	w.cond = sync.NewCond(&w.mu)
 	return w, nil
 }
 
-// repairSegment truncates path after its last whole record.
-func repairSegment(path string) error {
-	data, err := os.ReadFile(path)
+// repairSegment truncates path after its last whole record and returns the
+// surviving length.
+func repairSegment(fsys faultfs.FS, path string) (int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	good := scanRecords(data, nil)
 	if good == int64(len(data)) {
-		return nil
+		return good, nil
 	}
-	return os.Truncate(path, good)
+	if err := fsys.Truncate(path, good); err != nil {
+		return 0, err
+	}
+	return good, nil
 }
 
 // scanRecords walks framed records in data, calling fn (if non-nil) for each
@@ -160,11 +200,21 @@ func frameRecord(dst, payload []byte) []byte {
 // record (and every record batched with it) is durable. Appending is cheap
 // and non-blocking; only commit waits on I/O. Callers needing ordered
 // records must serialize their Append calls (commit calls may be concurrent).
+// A WAL in the failed state refuses appends with ErrDurability rather than
+// queueing records it cannot persist.
 func (w *WAL) Append(payload []byte) (commit func() error, err error) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return nil, fmt.Errorf("storage: append to closed WAL")
+	}
+	if w.crashed {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("storage: append to crashed WAL: %w", ErrDurability)
+	}
+	if w.failed {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("storage: WAL in failed state: %w", ErrDurability)
 	}
 	if w.cur == nil {
 		w.cur = &walBatch{done: make(chan struct{})}
@@ -202,9 +252,17 @@ func (w *WAL) flushLoop() {
 		if err == nil && !w.noSync {
 			err = f.Sync()
 		}
+		if err != nil {
+			err = w.recoverFlush(b.buf, err)
+		}
 		w.mu.Lock()
-		if !w.noSync {
-			w.syncs++
+		if err == nil {
+			w.goodOff += int64(len(b.buf))
+			if !w.noSync {
+				w.syncs++
+			}
+		} else {
+			w.failed = true
 		}
 		w.mu.Unlock()
 		b.err = err
@@ -212,11 +270,105 @@ func (w *WAL) flushLoop() {
 	}
 }
 
+// recoverFlush retries a failed batch flush: a failed write or fsync may
+// have left torn bytes past goodOff, so each attempt truncates the segment
+// back to the last durable offset, reopens it, rewrites the whole batch and
+// fsyncs, with capped exponential backoff between attempts. Returns nil once
+// the batch is durable, or the final cause wrapped in ErrDurability.
+func (w *WAL) recoverFlush(buf []byte, cause error) error {
+	p := w.retry
+	w.mu.Lock()
+	path := filepath.Join(w.dir, walSegmentName(w.seg))
+	goodOff := w.goodOff
+	w.mu.Unlock()
+	for attempt := 1; attempt < p.Attempts; attempt++ {
+		p.Sleep(p.backoff(attempt))
+		if err := w.rewriteTail(path, goodOff, buf); err != nil {
+			cause = err
+			continue
+		}
+		w.mu.Lock()
+		w.retries++
+		w.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("storage: wal flush failed after %d attempts: %w (%w)", p.Attempts, ErrDurability, cause)
+}
+
+// rewriteTail is one recovery attempt: truncate the segment to goodOff,
+// reopen it, write buf, fsync. On success the reopened handle replaces w.f.
+func (w *WAL) rewriteTail(path string, goodOff int64, buf []byte) error {
+	w.mu.Lock()
+	if w.f != nil {
+		// The handle already failed; its close error carries no new information.
+		_ = w.f.Close() //nolint:discarded // annotated: closing an already-failed handle
+		w.f = nil
+	}
+	w.mu.Unlock()
+	if err := w.fsys.Truncate(path, goodOff); err != nil {
+		return err
+	}
+	f, err := w.fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close() //nolint:discarded // annotated: write already failed
+		return err
+	}
+	if !w.noSync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close() //nolint:discarded // annotated: sync already failed
+			return err
+		}
+	}
+	w.mu.Lock()
+	w.f = f
+	w.mu.Unlock()
+	return nil
+}
+
 // waitIdleLocked blocks until no flush is in flight and no batch is queued.
 func (w *WAL) waitIdleLocked() {
 	for w.flushing {
 		w.cond.Wait()
 	}
+}
+
+// Probe checks the durable path and, if the log latched into the failed
+// state, repairs the current segment (truncating any torn tail back to the
+// durable offset) and re-arms appends. It is the recovery half of graceful
+// degradation: the daemon calls it periodically while degraded.
+func (w *WAL) Probe() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.crashed {
+		return fmt.Errorf("storage: probe of closed WAL")
+	}
+	w.waitIdleLocked()
+	path := filepath.Join(w.dir, walSegmentName(w.seg))
+	if w.failed || w.f == nil {
+		if w.f != nil {
+			// The handle already failed; nothing useful in its close error.
+			_ = w.f.Close() //nolint:discarded // annotated: closing an already-failed handle
+			w.f = nil
+		}
+		if err := w.fsys.Truncate(path, w.goodOff); err != nil {
+			return fmt.Errorf("storage: probe truncate: %w", err)
+		}
+		f, err := w.fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("storage: probe reopen: %w", err)
+		}
+		w.f = f
+	}
+	if !w.noSync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: probe sync: %w", err)
+		}
+	}
+	w.failed = false
+	return nil
 }
 
 // Rotate seals the current segment and starts a new one, returning the new
@@ -229,18 +381,24 @@ func (w *WAL) Rotate() (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("storage: rotate of closed WAL")
 	}
+	if w.failed {
+		return 0, fmt.Errorf("storage: rotate of failed WAL: %w", ErrDurability)
+	}
 	w.waitIdleLocked()
 	if err := w.f.Close(); err != nil {
 		return 0, err
 	}
 	w.seg++
-	f, err := os.OpenFile(filepath.Join(w.dir, walSegmentName(w.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fsys.OpenFile(filepath.Join(w.dir, walSegmentName(w.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, err
 	}
 	w.f = f
+	w.goodOff = 0
 	if !w.noSync {
-		syncDir(w.dir)
+		if err := w.fsys.SyncDir(w.dir); err != nil {
+			return 0, fmt.Errorf("storage: rotate dir sync: %w", err)
+		}
 	}
 	return w.seg, nil
 }
@@ -256,7 +414,16 @@ func (w *WAL) Segment() int {
 func (w *WAL) Stats() WALStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return WALStats{Appends: w.appends, Batches: w.batches, Syncs: w.syncs, Bytes: w.walBytes, Segment: w.seg}
+	return WALStats{Appends: w.appends, Batches: w.batches, Syncs: w.syncs, Retries: w.retries, Bytes: w.walBytes, Segment: w.seg, Failed: w.failed}
+}
+
+// crash simulates process death for the chaos harness: every later write is
+// refused and Close skips flushing, so the on-disk state is exactly what was
+// durable at the moment of the crash.
+func (w *WAL) crash() {
+	w.mu.Lock()
+	w.crashed = true
+	w.mu.Unlock()
 }
 
 // Close flushes pending batches and closes the current segment file.
@@ -266,23 +433,34 @@ func (w *WAL) Close() error {
 		w.mu.Unlock()
 		return nil
 	}
-	w.waitIdleLocked()
+	if !w.crashed {
+		w.waitIdleLocked()
+	}
 	w.closed = true
-	err := w.f.Close()
+	var err error
+	if w.f != nil {
+		err = w.f.Close()
+		w.f = nil
+	}
+	crashed := w.crashed
 	w.mu.Unlock()
+	if crashed {
+		// A simulated crash never reports close errors: the process "died".
+		return nil
+	}
 	return err
 }
 
 // RemoveSegmentsBefore deletes sealed segments older than seg — safe once a
 // checkpoint covering them is durable.
 func (w *WAL) RemoveSegmentsBefore(seg int) error {
-	segs, err := walSegments(w.dir)
+	segs, err := walSegments(w.fsys, w.dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range segs {
 		if s < seg {
-			if err := os.Remove(filepath.Join(w.dir, walSegmentName(s))); err != nil {
+			if err := w.fsys.Remove(filepath.Join(w.dir, walSegmentName(s))); err != nil {
 				return err
 			}
 		}
@@ -293,8 +471,8 @@ func (w *WAL) RemoveSegmentsBefore(seg int) error {
 // ReadWALFrom replays every intact record in segments >= fromSeg, in segment
 // then file order. A torn tail in the newest segment is skipped silently (it
 // was never acknowledged); damage in an older, sealed segment is an error.
-func ReadWALFrom(dir string, fromSeg int, fn func(payload []byte)) (int, error) {
-	segs, err := walSegments(dir)
+func ReadWALFrom(fsys faultfs.FS, dir string, fromSeg int, fn func(payload []byte)) (int, error) {
+	segs, err := walSegments(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -306,7 +484,7 @@ func ReadWALFrom(dir string, fromSeg int, fn func(payload []byte)) (int, error) 
 		if s < fromSeg {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, walSegmentName(s)))
+		data, err := fsys.ReadFile(filepath.Join(dir, walSegmentName(s)))
 		if err != nil {
 			return records, err
 		}
@@ -319,12 +497,4 @@ func ReadWALFrom(dir string, fromSeg int, fn func(payload []byte)) (int, error) 
 		}
 	}
 	return records, nil
-}
-
-// syncDir fsyncs a directory so renames and creates within it are durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
 }

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"graphm/internal/faultfs"
+
 	"bytes"
 	"fmt"
 	"os"
@@ -11,7 +13,7 @@ import (
 
 func TestWALAppendCommitReplay(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(dir, true)
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +33,7 @@ func TestWALAppendCommitReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got [][]byte
-	n, err := ReadWALFrom(dir, 0, func(p []byte) {
+	n, err := ReadWALFrom(faultfs.OS{}, dir, 0, func(p []byte) {
 		got = append(got, append([]byte(nil), p...))
 	})
 	if err != nil {
@@ -51,7 +53,7 @@ func TestWALAppendCommitReplay(t *testing.T) {
 // flusher wrote them in fewer batches than appends — the group-commit win.
 func TestWALGroupCommitCoalesces(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(dir, true)
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestWALGroupCommitCoalesces(t *testing.T) {
 	}
 	w.Close()
 	count := 0
-	if _, err := ReadWALFrom(dir, 0, func([]byte) { count++ }); err != nil {
+	if _, err := ReadWALFrom(faultfs.OS{}, dir, 0, func([]byte) { count++ }); err != nil {
 		t.Fatal(err)
 	}
 	if count != n {
@@ -94,7 +96,7 @@ func TestWALGroupCommitCoalesces(t *testing.T) {
 
 func TestWALTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(dir, true)
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	f.Close()
 
 	// Reopen repairs the tail; replay sees only whole records.
-	w2, err := OpenWAL(dir, true)
+	w2, err := OpenWAL(dir, WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +129,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	w2.Close()
 
 	var got []string
-	if _, err := ReadWALFrom(dir, 0, func(p []byte) { got = append(got, string(p)) }); err != nil {
+	if _, err := ReadWALFrom(faultfs.OS{}, dir, 0, func(p []byte) { got = append(got, string(p)) }); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{"whole-0", "whole-1", "whole-2", "after-crash"}
@@ -143,7 +145,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 
 func TestWALCorruptRecordStopsReplay(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(dir, true)
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestWALCorruptRecordStopsReplay(t *testing.T) {
 	os.WriteFile(path, data, 0o644)
 
 	var got []string
-	n, err := ReadWALFrom(dir, 0, func(p []byte) { got = append(got, string(p)) })
+	n, err := ReadWALFrom(faultfs.OS{}, dir, 0, func(p []byte) { got = append(got, string(p)) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +174,7 @@ func TestWALCorruptRecordStopsReplay(t *testing.T) {
 
 func TestWALRotateAndSegmentGC(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(dir, true)
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +192,7 @@ func TestWALRotateAndSegmentGC(t *testing.T) {
 
 	// Replay from the rotation point sees only the new segment's records.
 	var got []string
-	if _, err := ReadWALFrom(dir, seg, func(p []byte) { got = append(got, string(p)) }); err != nil {
+	if _, err := ReadWALFrom(faultfs.OS{}, dir, seg, func(p []byte) { got = append(got, string(p)) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0] != "seg1" {
@@ -205,7 +207,7 @@ func TestWALRotateAndSegmentGC(t *testing.T) {
 	}
 	// Full replay still works (only segment 1 remains).
 	got = nil
-	if _, err := ReadWALFrom(dir, 0, func(p []byte) { got = append(got, string(p)) }); err != nil {
+	if _, err := ReadWALFrom(faultfs.OS{}, dir, 0, func(p []byte) { got = append(got, string(p)) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0] != "seg1" {
@@ -215,7 +217,7 @@ func TestWALRotateAndSegmentGC(t *testing.T) {
 }
 
 func TestWALClosedAppendFails(t *testing.T) {
-	w, err := OpenWAL(t.TempDir(), true)
+	w, err := OpenWAL(t.TempDir(), WALOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
