@@ -86,6 +86,7 @@ func (s *Server) clearDegraded() {
 func (s *Server) ProbeRecovery() bool {
 	s.mu.Lock()
 	degraded := s.degrade.degraded
+	cause := s.degrade.cause
 	st := s.store
 	s.mu.Unlock()
 	if !degraded || st == nil {
@@ -97,6 +98,16 @@ func (s *Server) ProbeRecovery() bool {
 	}
 	if !st.Health().Healthy() {
 		return false
+	}
+	if cause == "checkpoint" {
+		// Store.Probe exercises only the WAL and ticket log. A degrade caused
+		// by the checkpoint path must prove that path writes again before
+		// re-arming, or the daemon would flap healthy/degraded on every
+		// housekeeping tick while only checkpointing is broken.
+		if err := s.sys.Checkpoint(st); err != nil {
+			s.maybeDegrade("checkpoint", err)
+			return false
+		}
 	}
 	s.clearDegraded()
 	return true

@@ -182,6 +182,47 @@ func TestEvolveDurabilityFailureDegrades(t *testing.T) {
 	}
 }
 
+// TestCheckpointDegradeRequiresCheckpointRecovery: a degrade caused by the
+// checkpoint path must not be re-armed by a probe that only exercises the
+// WAL and ticket log — ProbeRecovery stays degraded until a checkpoint
+// actually writes again (no healthy/degraded flapping per housekeeping tick).
+func TestCheckpointDegradeRequiresCheckpointRecovery(t *testing.T) {
+	s, ts, inj := newDegradeServer(t)
+
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 1, Dst: 2, Weight: 1}}}); code != http.StatusOK {
+		t.Fatalf("evolve: status %d", code)
+	}
+
+	sched, _ := faultfs.ParseSchedule("sync:fail:path=checkpoint-")
+	inj.SetSchedule(sched)
+	if ok, err := s.MaybeCheckpoint(true); ok || err == nil {
+		t.Fatalf("checkpoint under fault: ok=%v err=%v", ok, err)
+	}
+	if h := getHealthz(t, ts); !h.Degraded || h.DegradedCause != "checkpoint" {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// WAL and ticket log are perfectly healthy, but the checkpoint path is
+	// still broken: the probe must not re-arm the daemon.
+	if s.ProbeRecovery() {
+		t.Fatal("ProbeRecovery re-armed while the checkpoint path is broken")
+	}
+	if h := getHealthz(t, ts); !h.Degraded || h.DegradedCause != "checkpoint" {
+		t.Fatalf("healthz after failed probe = %+v", h)
+	}
+
+	inj.Disarm()
+	if !s.ProbeRecovery() {
+		t.Fatal("ProbeRecovery failed after the checkpoint fault cleared")
+	}
+	if h := getHealthz(t, ts); h.Degraded {
+		t.Fatalf("healthz after recovery = %+v", h)
+	}
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 3, Dst: 4, Weight: 1}}}); code != http.StatusOK {
+		t.Fatalf("evolve after recovery: status %d", code)
+	}
+}
+
 // TestDrainingRefusalsCarryRetryAfter: the draining 503s hint Retry-After
 // exactly like the 429 paths do.
 func TestDrainingRefusalsCarryRetryAfter(t *testing.T) {

@@ -184,6 +184,14 @@ func (s *Server) handleEvolveAdd(w http.ResponseWriter, r *http.Request) {
 // (the WAL could not commit the record) degrades the daemon and answers
 // 503 + Retry-After — the mutation must not be acknowledged — while
 // anything else is a caller mistake (400).
+//
+// Known window: the in-memory snapshot installs the mutation before the WAL
+// commit is awaited, so a commit that fails leaves the unacknowledged edges
+// visible to degraded-mode reads until the next restart discards them
+// (recovery rebuilds only from durable state). The 503 is still honest — the
+// mutation is NOT durable and a client must re-offer it — but readers inside
+// the degraded window may observe it early. See docs/OPERATIONS.md,
+// "Degraded read-only mode".
 func (s *Server) writeEvolveError(w http.ResponseWriter, err error) {
 	if s.maybeDegrade("wal", err) {
 		s.writeUnavailable(w, "degraded (wal): %v", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -157,6 +158,104 @@ func TestWALPersistentFailureLatchesAndProbeRearms(t *testing.T) {
 	}
 }
 
+// TestWALAppendDuringFailedFlushFailsGracefully: an Append that lands while
+// a failing flush is inside recoverFlush's retry window (failed not yet
+// latched) queues a batch that must fail with ErrDurability once retries
+// exhaust — never a nil-handle write through the dead segment file.
+func TestWALAppendDuringFailedFlushFailsGracefully(t *testing.T) {
+	dir := t.TempDir()
+	sched, err := faultfs.ParseSchedule("sync:fail:path=wal-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.New(faultfs.OS{}, sched, nil)
+	var w *WAL
+	var commit2 func() error
+	var appendErr error
+	var once sync.Once
+	// The retry sleeper runs on the flusher goroutine with no lock held:
+	// queue a second batch from inside the retry window.
+	sleep := func(time.Duration) {
+		once.Do(func() { commit2, appendErr = w.Append([]byte("queued-during-retry")) })
+	}
+	w, err = OpenWAL(dir, WALOptions{FS: inj, Retry: RetryPolicy{Sleep: sleep}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = w.Close() }()
+	commit1, err := w.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit1(); !errors.Is(err, ErrDurability) {
+		t.Fatalf("first commit = %v, want ErrDurability", err)
+	}
+	if appendErr != nil {
+		t.Fatalf("append during retry window refused: %v", appendErr)
+	}
+	if commit2 == nil {
+		t.Fatal("retry sleeper never ran; the queued-batch window was not exercised")
+	}
+	if err := commit2(); !errors.Is(err, ErrDurability) {
+		t.Fatalf("queued batch commit = %v, want ErrDurability", err)
+	}
+	// Neither unacknowledged record is on disk.
+	inj.Disarm()
+	if err := w.Probe(); err != nil {
+		t.Fatalf("probe after fault cleared: %v", err)
+	}
+	n, err := ReadWALFrom(faultfs.OS{}, dir, 0, func([]byte) {})
+	if err != nil || n != 0 {
+		t.Fatalf("recovered %d records (err %v), want 0", n, err)
+	}
+}
+
+// TestWALRotateDuringFailedFlushFailsGracefully: a Rotate that blocks in
+// waitIdleLocked while the in-flight flush exhausts its retries must return
+// ErrDurability, not close a nil segment handle.
+func TestWALRotateDuringFailedFlushFailsGracefully(t *testing.T) {
+	dir := t.TempDir()
+	sched, err := faultfs.ParseSchedule("sync:fail:path=wal-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.New(faultfs.OS{}, sched, nil)
+	inRetry := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	sleep := func(time.Duration) {
+		once.Do(func() {
+			close(inRetry)
+			<-release
+		})
+	}
+	w, err := OpenWAL(dir, WALOptions{FS: inj, Retry: RetryPolicy{Sleep: sleep}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = w.Close() }()
+	commit, err := w.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inRetry
+	rotateErr := make(chan error, 1)
+	go func() {
+		_, err := w.Rotate()
+		rotateErr <- err
+	}()
+	// Let Rotate pass its pre-wait failed check and block in waitIdleLocked
+	// before the flush is allowed to exhaust its retries.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := commit(); !errors.Is(err, ErrDurability) {
+		t.Fatalf("commit = %v, want ErrDurability", err)
+	}
+	if err := <-rotateErr; !errors.Is(err, ErrDurability) {
+		t.Fatalf("Rotate = %v, want ErrDurability", err)
+	}
+}
+
 // TestLogSubmitTransientAndPersistentFaults: a transient ticket-log fsync
 // failure is retried invisibly; a persistent one returns ErrDurability and
 // the unacknowledged line is truncated away so the log never poisons.
@@ -237,6 +336,42 @@ func TestLogTerminalDropCountedAndTailRepaired(t *testing.T) {
 	}
 	if rec.Counts.Canceled != 1 {
 		t.Fatalf("counts = %+v", rec.Counts)
+	}
+}
+
+// TestLogTerminalFailureDoesNotSleepUnderLock: the best-effort terminal-line
+// path never runs backoff sleeps (it holds ticketMu, which LogSubmit — an
+// acknowledged path — also needs), yet still counts the drop.
+func TestLogTerminalFailureDoesNotSleepUnderLock(t *testing.T) {
+	dir := t.TempDir()
+	sched, err := faultfs.ParseSchedule("write:fail:path=tickets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.New(faultfs.OS{}, nil, nil)
+	var delays []time.Duration
+	st, _, err := Open(dir, StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     inj,
+		Retry:                  RetryPolicy{Sleep: noSleep(&delays)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogSubmit(1, "a", "pagerank", 7); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetSchedule(sched)
+	st.LogTerminal(1, "done")
+	if got := st.TicketLogDropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("terminal-line failure slept %v while holding ticketMu", delays)
+	}
+	inj.Disarm()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

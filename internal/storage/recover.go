@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphm/internal/faultfs"
 	"graphm/internal/graph"
@@ -442,6 +443,15 @@ func (s *Store) appendTicketLine(line string, sync bool) error {
 		return fmt.Errorf("storage: ticket log closed")
 	}
 	p := s.opts.Retry.normalized()
+	if !sync {
+		// Terminal lines are best-effort, but they are written under ticketMu,
+		// which LogSubmit (an acknowledged, latency-sensitive path) also
+		// takes: backoff sleeps here would stall submits for the whole retry
+		// budget per failing terminal write. One immediate repair attempt, no
+		// sleeping.
+		p.Attempts = 2
+		p.Sleep = func(time.Duration) {}
+	}
 	path := filepath.Join(s.dir, "tickets.log")
 	var cause error
 	for attempt := 0; attempt < p.Attempts; attempt++ {

@@ -244,6 +244,16 @@ func (w *WAL) flushLoop() {
 		}
 		w.cur = nil
 		f := w.f
+		if w.failed || f == nil {
+			// A previous batch exhausted its retries while this one was
+			// queueing (its Append raced recoverFlush before the failed state
+			// latched), and recovery left no usable segment handle. Fail the
+			// batch with ErrDurability rather than writing through nil.
+			w.mu.Unlock()
+			b.err = fmt.Errorf("storage: WAL in failed state: %w", ErrDurability)
+			close(b.done)
+			continue
+		}
 		w.batches++
 		w.walBytes += uint64(len(b.buf))
 		w.mu.Unlock()
@@ -385,6 +395,11 @@ func (w *WAL) Rotate() (int, error) {
 		return 0, fmt.Errorf("storage: rotate of failed WAL: %w", ErrDurability)
 	}
 	w.waitIdleLocked()
+	// Re-check after the wait: the in-flight flush may have exhausted its
+	// retries while we blocked, latching failed with no usable handle.
+	if w.failed || w.f == nil {
+		return 0, fmt.Errorf("storage: rotate of failed WAL: %w", ErrDurability)
+	}
 	if err := w.f.Close(); err != nil {
 		return 0, err
 	}
