@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/service"
+	"graphm/internal/shard"
+)
+
+// sharding sweeps the scale-out width: the same service workload admitted
+// to a shard.Group of 1, 2, 4 and 8 shards over one dataset. The group's
+// determinism contract makes the schedule-independent work counters
+// identical at every width (the sweep asserts it), so the table isolates
+// what sharding actually costs and buys: cross-shard handoff traffic on the
+// byte-metered network, per-shard round counts, and the wall-clock effect
+// of splitting one sharing controller into N.
+func (h *Harness) sharding() ([]*Table, error) {
+	env, err := h.gridEnv("livej")
+	if err != nil {
+		return nil, err
+	}
+	parts := env.GridP * env.GridP
+	table := &Table{
+		Title:   "sharded scale-out: identical work, metered cross-shard traffic (livej, 8 jobs)",
+		Headers: []string{"shards", "wall", "jobs/s", "rounds", "shared loads", "net xfer", "net msgs", "scanned Medges"},
+	}
+	algos := []string{"pagerank", "wcc", "bfs", "sssp"}
+	var baseWork map[int]uint64
+	for _, n := range []int{1, 2, 4, 8} {
+		if n > parts {
+			continue
+		}
+		cfg := core.DefaultConfig(env.Spec.LLCBytes)
+		cfg.Cores = h.Cores
+		grp, err := shard.New(env.Grid.AsLayout(), n, env.Spec.MemBudget, cfg)
+		if err != nil {
+			return nil, err
+		}
+		svc := service.NewWithBackend(grp, service.Config{MaxInFlight: 8, Seed: h.Seed})
+		start := time.Now()
+		var tickets []*service.Ticket
+		for i := 0; i < 8; i++ {
+			tk, err := svc.Submit(service.Request{
+				Tenant: fmt.Sprintf("t%d", i%2),
+				Algo:   algos[i%len(algos)],
+			})
+			if err != nil {
+				return nil, err
+			}
+			tickets = append(tickets, tk)
+		}
+		if err := svc.Drain(); err != nil {
+			return nil, err
+		}
+		if err := grp.Wait(); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+
+		work := make(map[int]uint64, len(tickets))
+		var scanned uint64
+		for _, tk := range tickets {
+			if st := tk.Wait(); st != service.StatusDone {
+				return nil, fmt.Errorf("sharding: shards=%d ticket %d finished %v", n, tk.ID, st)
+			}
+			work[tk.ID] = tk.Job().Met.ScannedEdges
+			scanned += tk.Job().Met.ScannedEdges
+		}
+		if baseWork == nil {
+			baseWork = work
+		} else {
+			for id, want := range baseWork {
+				if work[id] != want {
+					return nil, fmt.Errorf("sharding: shards=%d job %d scanned %d edges, 1-shard scanned %d — determinism contract broken",
+						n, id, work[id], want)
+				}
+			}
+		}
+		stats := grp.StatsSnapshot()
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", n),
+			wall.Round(time.Millisecond).String(),
+			f2(float64(len(tickets)) / wall.Seconds()),
+			fmt.Sprintf("%d", stats.Rounds),
+			fmt.Sprintf("%d", stats.SharedLoads),
+			mbu(grp.Network().Bytes()),
+			human(grp.Network().Messages()),
+			f2(float64(scanned) / 1e6),
+		})
+	}
+	table.Notes = append(table.Notes,
+		"per-job scanned-edge counts are asserted identical at every shard width (the group's determinism contract)",
+		"net xfer is the per-vertex job state shipped between shards at gather handoffs, billed to SimIONS via the cluster network model")
+	return []*Table{table}, nil
+}

@@ -74,10 +74,13 @@ type ackedSubmit struct {
 }
 
 // evModel tracks what must be durable: durBase is the record prefix folded
-// by the last successful checkpoint (including records whose commit failed —
-// a failed commit still mutates memory, and a checkpoint folds memory);
-// durTail is the acked records WAL-appended since. A crash discards
-// unacknowledged memory, so the model's replay basis becomes durBase+durTail.
+// by the last successful checkpoint; durTail is the acked records
+// WAL-appended since. Since core rolls failed evolve ops back (see
+// internal/core/rollback.go), a record whose append or commit fails never
+// stays in memory — the model un-applies it (rolledBack), so checkpoints can
+// no longer promote phantom records and mem always equals the durable
+// stream plus any still-in-flight op. A crash discards unacknowledged
+// memory, so the model's replay basis becomes durBase+durTail.
 type evModel struct {
 	mem     []storage.EvolveRecord // records applied to current memory, in order
 	durBase []storage.EvolveRecord
@@ -86,6 +89,11 @@ type evModel struct {
 
 func (m *evModel) applied(rec storage.EvolveRecord) { m.mem = append(m.mem, rec) }
 func (m *evModel) acked(rec storage.EvolveRecord)   { m.durTail = append(m.durTail, rec) }
+
+// rolledBack drops the most recent record: evolve calls run sequentially on
+// the script thread and core awaits each commit before returning, so a
+// failed op is always the tail of mem.
+func (m *evModel) rolledBack() { m.mem = m.mem[:len(m.mem)-1] }
 
 func (m *evModel) checkpointed() {
 	m.durBase = append([]storage.EvolveRecord(nil), m.mem...)
@@ -251,8 +259,10 @@ func (c *skewClock) Jump(d time.Duration) {
 }
 
 // recordingSink wraps the store's EvolveSink to keep the durable-record
-// model in step: every record that reaches the sink has already mutated
-// memory (applied), and a record is acked only once its commit resolves.
+// model in step: a record counts as applied only once its append succeeds
+// (an append failure is undone inline by core before the evolve call
+// returns), and a failed commit un-applies it again — mirroring core's
+// rollback, so model memory never contains a record the system refused.
 // All calls happen on the script thread (core awaits each commit before the
 // evolve call returns), so the model needs no locking of its own.
 type recordingSink struct {
@@ -261,13 +271,14 @@ type recordingSink struct {
 
 func (rs *recordingSink) AppendEvolve(rec storage.EvolveRecord) (func() error, error) {
 	r := rs.runner
-	r.model.applied(rec)
 	commit, err := r.st.AppendEvolve(rec)
 	if err != nil {
 		return nil, err
 	}
+	r.model.applied(rec)
 	return func() error {
 		if err := commit(); err != nil {
+			r.model.rolledBack()
 			return err
 		}
 		r.model.acked(rec)

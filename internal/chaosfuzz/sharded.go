@@ -1,0 +1,362 @@
+package chaosfuzz
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"graphm/internal/core"
+	"graphm/internal/faultfs"
+	"graphm/internal/graph"
+	"graphm/internal/scenario"
+	"graphm/internal/service"
+	"graphm/internal/shard"
+	"graphm/internal/storage"
+)
+
+// The sharded chaos flavor replays the same chaos scripts against a
+// shard.Group backend and byte-compares the durable ticket logs across
+// shard counts: the scale-out admission path must be service-indistinguishable
+// from a single shard under floods, cancels, gate releases, clock skew,
+// evolve routing, ticket-log fault schedules and full stack restarts.
+//
+// Two op kinds degrade by design. A group is memory-only, so OpCheckpoint
+// settles without folding a checkpoint (there is no graph WAL to fold), and
+// OpCrash restarts the stack over a pristine graph — the ticket log is the
+// durable artifact under test, and it alone survives the restart. Both
+// reductions are identical at every shard count, which is exactly what the
+// differential needs.
+
+// shardRunner executes one script against a sharded service stack.
+type shardRunner struct {
+	script Script
+	dir    string
+	shards int
+
+	inj   *faultfs.Injector
+	st    *storage.Store
+	grp   *shard.Group
+	svc   *service.Service
+	gate  *finishGate
+	tlog  *gatedLog
+	clock *skewClock
+
+	acked      []ackedSubmit
+	live       map[int]*service.Ticket
+	violations []string
+	stats      RunStats
+}
+
+func (r *shardRunner) violate(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// RunSharded executes the script in dir over a group of n shards and
+// returns the oracle-relevant result. Graph-durability digests stay empty:
+// the sharded stack's durable surface is the ticket log.
+func RunSharded(script Script, dir string, n int) (RunResult, error) {
+	if err := script.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	r := &shardRunner{
+		script: script,
+		dir:    dir,
+		shards: n,
+		inj:    faultfs.New(faultfs.OS{}, nil, nil),
+		gate:   newFinishGate(),
+		clock:  &skewClock{now: time.Unix(1_700_000_000, 0)},
+		live:   make(map[int]*service.Ticket),
+	}
+	r.tlog = &gatedLog{buf: make(map[int]string)}
+	if err := r.boot(); err != nil {
+		return RunResult{}, err
+	}
+	for i, op := range script.Ops {
+		if err := r.exec(i, op); err != nil {
+			return RunResult{}, err
+		}
+	}
+	r.finalize()
+	res := RunResult{
+		Violations: r.violations,
+		Stats:      r.stats,
+	}
+	res.Stats.FaultsInjected = r.inj.Stats().TotalInjected()
+	logBytes, err := os.ReadFile(filepath.Join(dir, "tickets.log"))
+	if err != nil && !os.IsNotExist(err) {
+		return RunResult{}, err
+	}
+	res.TicketLog = logBytes
+	r.verify(&res)
+	return res, nil
+}
+
+// newGroup builds a fresh sharded group over the script's environment
+// recipe — same graph generation as the unsharded runner, partitioned.
+func (r *shardRunner) newGroup() (*shard.Group, error) {
+	env, _, err := scenario.GenEnv(r.script.EnvName, r.script.NumV, r.script.NumE,
+		r.script.Parts, r.script.GraphSeed, envLLCBytes, envMemBudget)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(envLLCBytes)
+	cfg.Cores = 2
+	return shard.New(env.Layout, r.shards, envMemBudget, cfg)
+}
+
+// boot opens (or re-opens after a crash) the sharded stack: a fresh group,
+// the durable ticket store, and the service with pending re-admission.
+func (r *shardRunner) boot() error {
+	grp, err := r.newGroup()
+	if err != nil {
+		return err
+	}
+	st, rec, err := storage.Open(r.dir, storage.StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     r.inj,
+		Retry:                  storage.RetryPolicy{Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		return err
+	}
+	r.grp, r.st = grp, st
+	r.tlog.swap(st)
+	r.gate.rearm()
+	r.svc = service.NewWithBackend(grp, service.Config{
+		MaxInFlight:        r.script.MaxInFlight,
+		MaxQueuedPerTenant: r.script.QueueCap,
+		Seed:               1,
+		Clock:              r.clock,
+		FinishGate:         r.gate.gate,
+		TicketLog:          r.tlog,
+	})
+	readmitted, err := r.svc.Restore(rec)
+	if err != nil {
+		return err
+	}
+	r.live = make(map[int]*service.Ticket, len(readmitted))
+	for _, t := range readmitted {
+		r.live[t.ID] = t
+	}
+	return nil
+}
+
+func (r *shardRunner) exec(i int, op Op) error {
+	switch op.Kind {
+	case OpSubmit:
+		r.submit(service.Request{Tenant: op.Tenant, Algo: op.Algo, Seed: op.Seed})
+	case OpFlood:
+		for j := 0; j < op.N; j++ {
+			r.submit(service.Request{Tenant: op.Tenant, Algo: "pagerank"})
+		}
+	case OpCancel:
+		r.settle(i)
+		r.stats.Cancels++
+		if len(r.acked) > 0 {
+			target := r.acked[op.Target%len(r.acked)].ID
+			_ = r.svc.Cancel(target) //nolint:discarded // annotated: no-op cancels are part of the chaos surface
+		}
+	case OpAdd:
+		if _, err := r.grp.AddEdges(op.Edges); err != nil {
+			r.stats.EvolvesRefused++
+		} else {
+			r.stats.EvolvesAcked++
+		}
+	case OpRemove:
+		src := op.Src
+		if _, _, err := r.grp.RemoveEdges(func(e graph.Edge) bool { return e.Src == src }); err != nil {
+			r.stats.EvolvesRefused++
+		} else {
+			r.stats.EvolvesAcked++
+		}
+	case OpSettle:
+		r.settle(i)
+	case OpRelease:
+		r.settle(i)
+		ids := r.gate.parkedIDs()
+		if len(ids) > op.N {
+			ids = ids[:op.N]
+		}
+		for _, id := range ids {
+			r.gate.release(id)
+			if t, ok := r.live[id]; ok {
+				t.Wait()
+			}
+		}
+	case OpCheckpoint:
+		// Memory-only backend: settle at the same script point, fold nothing.
+		r.settle(i)
+	case OpFault:
+		sched, err := faultfs.ParseSchedule(op.Sched)
+		if err != nil {
+			return fmt.Errorf("op %d: %v", i, err)
+		}
+		r.inj.SetSchedule(sched)
+	case OpClearFault:
+		r.inj.Disarm()
+		if err := r.st.Probe(); err != nil {
+			r.violate("op %d: probe failed after disarm: %v", i, err)
+		}
+	case OpCrash:
+		return r.crash(i)
+	case OpSkew:
+		r.clock.Jump(time.Duration(op.SkewMS) * time.Millisecond)
+	default:
+		return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
+	}
+	return nil
+}
+
+func (r *shardRunner) submit(req service.Request) {
+	t, err := r.svc.Submit(req)
+	if err != nil {
+		r.stats.SubmitsRefused++
+		return
+	}
+	r.stats.SubmitsAcked++
+	r.acked = append(r.acked, ackedSubmit{ID: t.ID, Tenant: t.Tenant, Algo: t.Algo})
+	r.live[t.ID] = t
+}
+
+// settle waits until every in-flight driver is parked at the gate, then
+// flushes buffered terminal lines in ID order — same determinism contract
+// as the unsharded runner's settle.
+func (r *shardRunner) settle(i int) {
+	deadline := time.Now().Add(settleWait)
+	for {
+		snap := r.svc.Snapshot()
+		r.gate.mu.Lock()
+		parked := len(r.gate.parked)
+		r.gate.mu.Unlock()
+		if parked == snap.InFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			r.violate("op %d: settle timed out (%d parked vs %d in flight)", i, parked, snap.InFlight)
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	r.tlog.flush()
+}
+
+// crash tears the sharded stack down and restarts it over a fresh (pristine)
+// group: only the ticket log survives, and recovery re-admits its pending
+// tickets. Buffered terminal lines die with the process, as in the durable
+// runner.
+func (r *shardRunner) crash(i int) error {
+	r.stats.Crashes++
+	r.gate.releaseAll()
+	r.st.Crash()
+	r.svc.Shutdown()
+	if err := r.st.Close(); err != nil {
+		r.violate("op %d: close of crashed store: %v", i, err)
+	}
+	r.tlog.dropBuffer()
+	return r.boot()
+}
+
+// finalize drains the service, flushes terminals, and closes the store.
+func (r *shardRunner) finalize() {
+	r.gate.releaseAll()
+	if err := r.svc.Drain(); err != nil {
+		r.violate("drain: %v", err)
+	}
+	if err := r.grp.Wait(); err != nil {
+		r.violate("group wait: %v", err)
+	}
+	r.tlog.flush()
+	if err := r.st.Close(); err != nil {
+		r.violate("close: %v", err)
+	}
+}
+
+// verify applies the sharded flavor's oracles: every acked submission is in
+// the log, and recovery's pending set is exactly acked-minus-terminal.
+func (r *shardRunner) verify(res *RunResult) {
+	_, rec, err := storage.Open(r.dir, storage.StoreOptions{CheckpointEveryRecords: -1})
+	if err != nil {
+		r.violate("verify reopen: %v", err)
+		res.Violations = r.violations
+		return
+	}
+	submits, terminals := parseTicketLog(res.TicketLog)
+	for _, a := range r.acked {
+		line, ok := submits[a.ID]
+		if !ok {
+			r.violate("acked submit %d (tenant %s algo %s) missing from ticket log", a.ID, a.Tenant, a.Algo)
+			continue
+		}
+		if line.Tenant != a.Tenant || line.Algo != a.Algo {
+			r.violate("acked submit %d recovered as tenant=%s algo=%s, want %s/%s",
+				a.ID, line.Tenant, line.Algo, a.Tenant, a.Algo)
+		}
+	}
+	wantPending := make(map[int]bool)
+	for _, a := range r.acked {
+		if !terminals[a.ID] {
+			wantPending[a.ID] = true
+		}
+	}
+	for _, p := range rec.Pending {
+		if !wantPending[p.ID] {
+			r.violate("recovery re-admits ticket %d which is not acked-pending", p.ID)
+		}
+		delete(wantPending, p.ID)
+	}
+	for id := range wantPending {
+		r.violate("acked non-terminal ticket %d not recovered as pending", id)
+	}
+	res.Violations = r.violations
+}
+
+// CheckSharded runs the script once per shard count in fresh directories
+// under base and applies the scale-out oracles: zero violations at every
+// count and byte-identical ticket logs across all of them. Shard counts are
+// capped at the script's partition count (at most one shard per partition).
+func CheckSharded(script Script, base string, counts []int) error {
+	var refLog []byte
+	var refCount int
+	first := true
+	for _, n := range counts {
+		if n > script.Parts {
+			continue
+		}
+		dir := filepath.Join(base, fmt.Sprintf("shards%d", n))
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+		res, err := RunSharded(script, dir, n)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", n, err)
+		}
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("shards=%d violations: %s", n, joinViolations(res.Violations))
+		}
+		if first {
+			refLog, refCount, first = res.TicketLog, n, false
+			continue
+		}
+		if !bytes.Equal(res.TicketLog, refLog) {
+			return fmt.Errorf("ticket logs diverge across shard counts:\n--- shards=%d ---\n%s--- shards=%d ---\n%s",
+				refCount, refLog, n, res.TicketLog)
+		}
+	}
+	if first {
+		return fmt.Errorf("chaosfuzz: no shard count in %v fits %d partitions", counts, script.Parts)
+	}
+	return nil
+}
+
+func joinViolations(vs []string) string {
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += "; "
+		}
+		out += v
+	}
+	return out
+}

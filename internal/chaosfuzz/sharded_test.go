@@ -1,0 +1,83 @@
+package chaosfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// shardChaosCounts is the scale-out matrix: the chaos env uses 3 partitions,
+// so 3 is the widest legal group (one shard per partition).
+var shardChaosCounts = []int{1, 2, 3}
+
+// shardChaosScripts returns how many generated scripts the sharded chaos
+// differential replays: GRAPHM_SHARD_CHAOS_SCRIPTS when set (CI smoke pins a
+// small number; the nightly soak cranks it up), else 8, scaled down under
+// -short. Each script runs once per shard count.
+func shardChaosScripts(t *testing.T) int {
+	if v := os.Getenv("GRAPHM_SHARD_CHAOS_SCRIPTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad GRAPHM_SHARD_CHAOS_SCRIPTS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+// TestChaosShardedDifferential is the nightly soak's sharded flavor: the
+// same generated chaos scripts (same seeds as the durable differential, so
+// a cross-flavor failure pins to one script), replayed against shard groups
+// of every legal width, must leave byte-identical ticket logs and violate
+// no admission oracle at any width.
+func TestChaosShardedDifferential(t *testing.T) {
+	opts := chaosGenOptions(t)
+	n := shardChaosScripts(t)
+	for seed := 0; seed < n; seed++ {
+		script, err := Generate(rand.New(rand.NewSource(int64(seed))), opts)
+		if err != nil {
+			t.Fatalf("seed %d: generator: %v", seed, err)
+		}
+		if err := CheckSharded(script, filepath.Join(t.TempDir(), fmt.Sprintf("seed%d", seed)), shardChaosCounts); err != nil {
+			min := Minimize(script, func(cand Script) bool {
+				return CheckSharded(cand, filepath.Join(t.TempDir(), "min"), shardChaosCounts) != nil
+			})
+			t.Fatalf("seed %d violated the sharded chaos oracles: %v\nminimized:\n%s", seed, err, min.Encode())
+		}
+	}
+}
+
+// TestChaosShardedCorpus replays every checked-in chaos corpus script
+// through the sharded flavor, so each op kind's scale-out reduction
+// (checkpoint settles, crash restarts over a pristine group) stays pinned.
+func TestChaosShardedCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("corpus is empty — the seed scripts should be checked in")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			script, err := Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckSharded(script, t.TempDir(), shardChaosCounts); err != nil {
+				t.Fatalf("sharded corpus regression: %v", err)
+			}
+		})
+	}
+}

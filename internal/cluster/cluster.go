@@ -90,17 +90,42 @@ func New(n int, memBudget int64) (*Cluster, error) {
 	return c, nil
 }
 
-// Groups splits the nodes into g equal groups (the paper's high-throughput
-// configuration; Section 5.1 lists the group counts per dataset). Jobs are
-// assigned to groups round-robin by the engines.
+// GroupSizes splits n items into g contiguous groups as evenly as possible:
+// every group gets n/g items and the first n%g groups get one extra, so the
+// sizes sum to exactly n. It is the single splitting rule shared by Groups
+// and the shard package's partition placement.
+func GroupSizes(n, g int) ([]int, error) {
+	if g <= 0 || g > n {
+		return nil, fmt.Errorf("cluster: cannot split %d into %d groups", n, g)
+	}
+	per, extra := n/g, n%g
+	sizes := make([]int, g)
+	for i := range sizes {
+		sizes[i] = per
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes, nil
+}
+
+// Groups splits the nodes into g contiguous groups (the paper's
+// high-throughput configuration; Section 5.1 lists the group counts per
+// dataset). Jobs are assigned to groups round-robin by the engines. When g
+// does not divide the node count the remainder is distributed one node each
+// across the first len(Nodes)%g groups — every node is assigned to exactly
+// one group. (Earlier versions silently dropped the trailing remainder
+// nodes from all groups.)
 func (c *Cluster) Groups(g int) ([][]*Node, error) {
-	if g <= 0 || g > len(c.Nodes) {
+	sizes, err := GroupSizes(len(c.Nodes), g)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: cannot split %d nodes into %d groups", len(c.Nodes), g)
 	}
-	per := len(c.Nodes) / g
 	out := make([][]*Node, g)
-	for i := 0; i < g; i++ {
-		out[i] = c.Nodes[i*per : (i+1)*per]
+	next := 0
+	for i, sz := range sizes {
+		out[i] = c.Nodes[next : next+sz]
+		next += sz
 	}
 	return out, nil
 }

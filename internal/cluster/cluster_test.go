@@ -39,6 +39,77 @@ func TestGroups(t *testing.T) {
 	}
 }
 
+// TestGroupsNonDivisible is the regression test for the remainder-drop bug:
+// Groups used to truncate len(Nodes)%g trailing nodes out of every group.
+// Every node must land in exactly one group, contiguously, with the
+// remainder spread one node each across the first groups.
+func TestGroupsNonDivisible(t *testing.T) {
+	cases := []struct {
+		nodes, groups int
+		wantSizes     []int
+	}{
+		{7, 2, []int{4, 3}},
+		{7, 3, []int{3, 2, 2}},
+		{5, 4, []int{2, 1, 1, 1}},
+		{9, 4, []int{3, 2, 2, 2}},
+		{3, 3, []int{1, 1, 1}},
+		{128, 6, []int{22, 22, 21, 21, 21, 21}},
+	}
+	for _, tc := range cases {
+		c, err := New(tc.nodes, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, err := c.Groups(tc.groups)
+		if err != nil {
+			t.Fatalf("%d nodes / %d groups: %v", tc.nodes, tc.groups, err)
+		}
+		if len(groups) != tc.groups {
+			t.Fatalf("%d/%d: got %d groups", tc.nodes, tc.groups, len(groups))
+		}
+		next := 0
+		for i, g := range groups {
+			if len(g) != tc.wantSizes[i] {
+				t.Errorf("%d/%d: group %d has %d nodes, want %d",
+					tc.nodes, tc.groups, i, len(g), tc.wantSizes[i])
+			}
+			for _, n := range g {
+				if n.ID != next {
+					t.Fatalf("%d/%d: group %d: node %d out of contiguous order (want %d)",
+						tc.nodes, tc.groups, i, n.ID, next)
+				}
+				next++
+			}
+		}
+		if next != tc.nodes {
+			t.Fatalf("%d/%d: %d nodes assigned, want all %d", tc.nodes, tc.groups, next, tc.nodes)
+		}
+	}
+}
+
+func TestGroupSizes(t *testing.T) {
+	if _, err := GroupSizes(3, 0); err == nil {
+		t.Fatal("expected error for 0 groups")
+	}
+	if _, err := GroupSizes(3, 4); err == nil {
+		t.Fatal("expected error for more groups than items")
+	}
+	sizes, err := GroupSizes(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, sz := range sizes {
+		total += sz
+		if i > 0 && sz > sizes[i-1] {
+			t.Fatalf("sizes %v not non-increasing", sizes)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("sizes %v sum to %d, want 10", sizes, total)
+	}
+}
+
 func TestNetworkMetersBytes(t *testing.T) {
 	n := NewNetwork()
 	ns := n.TransferNS(125e6) // 1 second at full bandwidth, single stream

@@ -169,8 +169,17 @@ func edgeSlicesEqual(a, b []graph.Edge) bool {
 // s.mu (no evolve record can land between them, so the checkpoint plus the
 // post-rotation segments always reproduce the current state), then the slow
 // compression and write run without the lock.
+//
+// Before rotating, Checkpoint drains the evolve-transaction registry: an
+// installation whose group commit is still in flight may yet be rolled back,
+// and folding it into a durable snapshot would promote a potentially-failed
+// record to durable state (the phantom-commit window rollback.go closes).
+// WAL batches resolve within one sync interval, so the wait is bounded.
 func (s *System) Checkpoint(ck storage.Checkpointer) error {
 	s.mu.Lock()
+	for len(s.evolveTxns) > 0 {
+		s.evolveCond.Wait()
+	}
 	write, err := ck.BeginCheckpoint()
 	if err != nil {
 		s.mu.Unlock()

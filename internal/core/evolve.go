@@ -71,39 +71,61 @@ func (s *System) addEdges(edges []graph.Edge, log bool) (int, error) {
 	// wait runs after BOTH are released. Record order is fixed at append
 	// time (under s.mu), so the next evolve op can install and append while
 	// this one's batch is still fsyncing — that overlap is what lets the
-	// WAL coalesce concurrent evolve streams into shared syncs.
-	version, commit, err := func() (int, func() error, error) {
+	// WAL coalesce concurrent evolve streams into shared syncs. A failed
+	// append is undone inline; a failed commit rolls back through the
+	// transaction registered here (see rollback.go).
+	version, commit, txn, err := func() (int, func() error, *evolveTxn, error) {
 		s.evolveMu.Lock()
 		defer s.evolveMu.Unlock()
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		capture := log && s.evolveSink != nil
+		var undos []chunkUndo
 		version := s.snaps.currentVersion()
 		for _, pid := range sortedPartitionIDs(groups) {
 			add := groups[pid]
 			k, err := s.lastChunkLocked(pid)
 			if err != nil {
-				return 0, nil, err
+				s.applyUndosLocked(undos)
+				return 0, nil, nil, err
 			}
 			cur, err := s.chunkViewEdgesLocked(-1, pid, k)
 			if err != nil {
-				return 0, nil, err
+				s.applyUndosLocked(undos)
+				return 0, nil, nil, err
 			}
 			merged := append(append([]graph.Edge(nil), cur...), add...)
+			epoch, _ := s.chunkEpochLocked(pid)
 			version, err = s.updateChunkLocked(pid, k, merged)
 			if err != nil {
-				return 0, nil, err
+				s.applyUndosLocked(undos)
+				return 0, nil, nil, err
+			}
+			if capture {
+				undos = append(undos, chunkUndo{jobID: -1, pid: pid, k: k, epoch: epoch,
+					prior: cur, post: merged, added: add})
 			}
 		}
 		if !log {
-			return version, nil, nil
+			return version, nil, nil, nil
 		}
 		commit, logErr := s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveAdd, Edges: edges})
-		return version, commit, logErr
+		if logErr != nil {
+			// The record never reached the WAL: undo under the same hold that
+			// ordered the installation, so the refused op leaves no trace.
+			s.applyUndosLocked(undos)
+			return 0, nil, nil, logErr
+		}
+		var txn *evolveTxn
+		if commit != nil {
+			txn = s.registerEvolveTxnLocked(undos)
+		}
+		return version, commit, txn, nil
 	}()
 	if err != nil {
 		return 0, err
 	}
-	if err := awaitCommit(commit, nil); err != nil {
+	if err := s.awaitEvolveCommit(commit, txn); err != nil {
 		return 0, err
 	}
 	return version, nil
@@ -119,32 +141,52 @@ func (s *System) addEdgesFor(jobID int, edges []graph.Edge, log bool) error {
 	if err != nil {
 		return err
 	}
-	commit, err := func() (func() error, error) {
+	commit, txn, err := func() (func() error, *evolveTxn, error) {
 		s.evolveMu.Lock()
 		defer s.evolveMu.Unlock()
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		capture := log && s.evolveSink != nil
+		var undos []chunkUndo
 		for _, pid := range sortedPartitionIDs(groups) {
 			k, err := s.lastChunkLocked(pid)
 			if err != nil {
-				return nil, err
+				s.applyUndosLocked(undos)
+				return nil, nil, err
 			}
 			add := groups[pid]
-			if err := s.mutateChunkLocked(jobID, pid, k, func(cur []graph.Edge) []graph.Edge {
-				return append(cur, add...)
-			}); err != nil {
-				return nil, err
+			cur, err := s.chunkViewEdgesLocked(jobID, pid, k)
+			if err != nil {
+				s.applyUndosLocked(undos)
+				return nil, nil, err
+			}
+			merged := append(append([]graph.Edge(nil), cur...), add...)
+			epoch, _ := s.chunkEpochLocked(pid)
+			had := s.snaps.hasOverride(jobID, pid, k)
+			s.snaps.mutate(jobID, pid, k, merged, s.mem.AllocAddr)
+			if capture {
+				undos = append(undos, chunkUndo{jobID: jobID, pid: pid, k: k, epoch: epoch,
+					hadOverride: had, prior: cur, post: merged, added: add})
 			}
 		}
 		if !log {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveAddFor, JobID: jobID, Edges: edges})
+		commit, logErr := s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveAddFor, JobID: jobID, Edges: edges})
+		if logErr != nil {
+			s.applyUndosLocked(undos)
+			return nil, nil, logErr
+		}
+		var txn *evolveTxn
+		if commit != nil {
+			txn = s.registerEvolveTxnLocked(undos)
+		}
+		return commit, txn, nil
 	}()
 	if err != nil {
 		return err
 	}
-	return awaitCommit(commit, nil)
+	return s.awaitEvolveCommit(commit, txn)
 }
 
 // RemoveEdges installs an update deleting every edge matching pred; it
@@ -161,7 +203,8 @@ func (s *System) RemoveEdges(pred func(graph.Edge) bool) (version, removed int, 
 
 func (s *System) removeEdges(pred func(graph.Edge) bool, log bool) (version, removed int, err error) {
 	var commit func() error
-	version, removed, commit, err = func() (version, removed int, commit func() error, err error) {
+	var txn *evolveTxn
+	version, removed, commit, txn, err = func() (version, removed int, commit func() error, txn *evolveTxn, err error) {
 		s.evolveMu.Lock()
 		defer s.evolveMu.Unlock()
 		s.mu.Lock()
@@ -172,21 +215,25 @@ func (s *System) removeEdges(pred func(graph.Edge) bool, log bool) (version, rem
 		// predicate: replay then needs no predicate and is deterministic by
 		// construction.
 		var removedEdges []graph.Edge
+		var undos []chunkUndo
 		for _, p := range s.parts {
 			s.mu.Lock()
 			set := s.sets[p.ID]
 			for k := 0; k < set.NumChunks(); k++ {
 				cur, err := s.chunkViewEdgesLocked(-1, p.ID, k)
 				if err != nil {
+					s.applyUndosLocked(undos)
 					s.mu.Unlock()
-					return 0, 0, nil, err
+					return 0, 0, nil, nil, err
 				}
 				kept := make([]graph.Edge, 0, len(cur))
+				var chunkRemoved []graph.Edge
 				for _, e := range cur {
 					if pred(e) {
 						removed++
 						if collect {
 							removedEdges = append(removedEdges, e)
+							chunkRemoved = append(chunkRemoved, e)
 						}
 					} else {
 						kept = append(kept, e)
@@ -195,10 +242,16 @@ func (s *System) removeEdges(pred func(graph.Edge) bool, log bool) (version, rem
 				if len(kept) == len(cur) {
 					continue
 				}
+				epoch, _ := s.chunkEpochLocked(p.ID)
 				version, err = s.updateChunkLocked(p.ID, k, kept)
 				if err != nil {
+					s.applyUndosLocked(undos)
 					s.mu.Unlock()
-					return 0, 0, nil, err
+					return 0, 0, nil, nil, err
+				}
+				if collect {
+					undos = append(undos, chunkUndo{jobID: -1, pid: p.ID, k: k, epoch: epoch,
+						prior: cur, post: kept, removed: chunkRemoved})
 				}
 			}
 			s.mu.Unlock()
@@ -206,17 +259,22 @@ func (s *System) removeEdges(pred func(graph.Edge) bool, log bool) (version, rem
 		if collect && len(removedEdges) > 0 {
 			s.mu.Lock()
 			commit, err = s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveRemove, Edges: removedEdges})
-			s.mu.Unlock()
 			if err != nil {
-				return 0, 0, nil, err
+				s.applyUndosLocked(undos)
+				s.mu.Unlock()
+				return 0, 0, nil, nil, err
 			}
+			if commit != nil {
+				txn = s.registerEvolveTxnLocked(undos)
+			}
+			s.mu.Unlock()
 		}
-		return version, removed, commit, nil
+		return version, removed, commit, txn, nil
 	}()
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := awaitCommit(commit, nil); err != nil {
+	if err := s.awaitEvolveCommit(commit, txn); err != nil {
 		return 0, 0, err
 	}
 	return version, removed, nil
@@ -231,21 +289,24 @@ func (s *System) RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed 
 
 func (s *System) removeEdgesFor(jobID int, pred func(graph.Edge) bool, log bool) (removed int, err error) {
 	var commit func() error
-	removed, commit, err = func() (removed int, commit func() error, err error) {
+	var txn *evolveTxn
+	removed, commit, txn, err = func() (removed int, commit func() error, txn *evolveTxn, err error) {
 		s.evolveMu.Lock()
 		defer s.evolveMu.Unlock()
 		s.mu.Lock()
 		collect := log && s.evolveSink != nil
 		s.mu.Unlock()
 		var removedEdges []graph.Edge
+		var undos []chunkUndo
 		for _, p := range s.parts {
 			s.mu.Lock()
 			set := s.sets[p.ID]
 			for k := 0; k < set.NumChunks(); k++ {
 				cur, err := s.chunkViewEdgesLocked(jobID, p.ID, k)
 				if err != nil {
+					s.applyUndosLocked(undos)
 					s.mu.Unlock()
-					return 0, nil, err
+					return 0, nil, nil, err
 				}
 				// pred runs exactly once per edge: replay predicates are
 				// stateful multisets, so a second evaluation would see
@@ -254,10 +315,12 @@ func (s *System) removeEdgesFor(jobID int, pred func(graph.Edge) bool, log bool)
 				// installing the precomputed kept slice is equivalent to
 				// re-filtering.
 				kept := make([]graph.Edge, 0, len(cur))
+				var chunkRemoved []graph.Edge
 				for _, e := range cur {
 					if pred(e) {
 						if collect {
 							removedEdges = append(removedEdges, e)
+							chunkRemoved = append(chunkRemoved, e)
 						}
 					} else {
 						kept = append(kept, e)
@@ -267,11 +330,12 @@ func (s *System) removeEdgesFor(jobID int, pred func(graph.Edge) bool, log bool)
 					continue
 				}
 				removed += len(cur) - len(kept)
-				if err := s.mutateChunkLocked(jobID, p.ID, k, func([]graph.Edge) []graph.Edge {
-					return kept
-				}); err != nil {
-					s.mu.Unlock()
-					return 0, nil, err
+				epoch, _ := s.chunkEpochLocked(p.ID)
+				had := s.snaps.hasOverride(jobID, p.ID, k)
+				s.snaps.mutate(jobID, p.ID, k, kept, s.mem.AllocAddr)
+				if collect {
+					undos = append(undos, chunkUndo{jobID: jobID, pid: p.ID, k: k, epoch: epoch,
+						hadOverride: had, prior: cur, post: kept, removed: chunkRemoved})
 				}
 			}
 			s.mu.Unlock()
@@ -279,17 +343,22 @@ func (s *System) removeEdgesFor(jobID int, pred func(graph.Edge) bool, log bool)
 		if collect && len(removedEdges) > 0 {
 			s.mu.Lock()
 			commit, err = s.logEvolveLocked(storage.EvolveRecord{Op: storage.EvolveRemoveFor, JobID: jobID, Edges: removedEdges})
-			s.mu.Unlock()
 			if err != nil {
-				return 0, nil, err
+				s.applyUndosLocked(undos)
+				s.mu.Unlock()
+				return 0, nil, nil, err
 			}
+			if commit != nil {
+				txn = s.registerEvolveTxnLocked(undos)
+			}
+			s.mu.Unlock()
 		}
-		return removed, commit, nil
+		return removed, commit, txn, nil
 	}()
 	if err != nil {
 		return 0, err
 	}
-	if err := awaitCommit(commit, nil); err != nil {
+	if err := s.awaitEvolveCommit(commit, txn); err != nil {
 		return 0, err
 	}
 	return removed, nil

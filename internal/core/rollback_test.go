@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/engine"
+	"graphm/internal/faultfs"
+	"graphm/internal/graph"
+	"graphm/internal/storage"
+)
+
+// Regression tests for the evolve phantom-commit window: an evolve op whose
+// WAL append or group commit failed used to leave its edges installed in
+// memory — visible to degraded-mode reads and foldable into checkpoints —
+// even though the client got a 503 and must re-offer the mutation. The ops
+// now roll back, so a failed op is never observable.
+
+// openFaultingStore opens a store whose WAL fsyncs always fail (retries are
+// instant), so every evolve group commit returns ErrDurability.
+func openFaultingStore(t *testing.T, dir string) (*storage.Store, *faultfs.Injector) {
+	t.Helper()
+	sched, err := faultfs.ParseSchedule("sync:fail:path=wal-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.New(faultfs.OS{}, sched, nil)
+	st, _, err := storage.Open(dir, storage.StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     inj,
+		Retry:                  storage.RetryPolicy{Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, inj
+}
+
+// TestEvolveCommitFailureRollsBack: each of the four evolve ops, failing at
+// the group-commit stage, must leave every observable view — global and
+// job-private — bit-identical to the pre-op state. Before the fix the 503'd
+// edges stayed installed (this test failed on every sub-case).
+func TestEvolveCommitFailureRollsBack(t *testing.T) {
+	st, _ := openFaultingStore(t, t.TempDir())
+	defer st.Close()
+	sys := buildDurableSys(t)
+	sys.SetEvolveSink(st)
+
+	wantGlobal := viewsOf(t, sys, -1)
+	wantJob7 := viewsOf(t, sys, 7)
+	wantVersion := sys.SnapshotVersion()
+	wantOverrides := sys.OverrideChunks()
+
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 3, Dst: 200, Weight: 1}, {Src: 180, Dst: 4, Weight: 2}}); !errors.Is(err, storage.ErrDurability) {
+		t.Fatalf("AddEdges err = %v, want ErrDurability", err)
+	}
+	assertViewsEqual(t, wantGlobal, viewsOf(t, sys, -1), "global view after failed AddEdges")
+
+	// The WAL is latched failed now: subsequent ops fail at append time and
+	// must be undone inline just the same.
+	if err := sys.AddEdgesFor(7, []graph.Edge{{Src: 10, Dst: 11, Weight: 3}}); !errors.Is(err, storage.ErrDurability) {
+		t.Fatalf("AddEdgesFor err = %v, want ErrDurability", err)
+	}
+	assertViewsEqual(t, wantJob7, viewsOf(t, sys, 7), "job 7 view after failed AddEdgesFor")
+	if got := sys.OverrideChunks(); got != wantOverrides {
+		t.Fatalf("failed AddEdgesFor leaked %d override chunks", got-wantOverrides)
+	}
+
+	if _, _, err := sys.RemoveEdges(func(e graph.Edge) bool { return e.Dst == 0 }); !errors.Is(err, storage.ErrDurability) {
+		t.Fatalf("RemoveEdges err = %v, want ErrDurability", err)
+	}
+	assertViewsEqual(t, wantGlobal, viewsOf(t, sys, -1), "global view after failed RemoveEdges")
+
+	if _, err := sys.RemoveEdgesFor(7, func(e graph.Edge) bool { return e.Src == 10 }); !errors.Is(err, storage.ErrDurability) {
+		t.Fatalf("RemoveEdgesFor err = %v, want ErrDurability", err)
+	}
+	assertViewsEqual(t, wantJob7, viewsOf(t, sys, 7), "job 7 view after failed RemoveEdgesFor")
+	if got := sys.OverrideChunks(); got != wantOverrides {
+		t.Fatalf("failed RemoveEdgesFor leaked %d override chunks", got-wantOverrides)
+	}
+
+	// Version bumps from the rolled-back installs are harmless (versions are
+	// monotone bookkeeping) but must not have grown unboundedly weird.
+	if sys.SnapshotVersion() < wantVersion {
+		t.Fatalf("snapshot version went backwards: %d -> %d", wantVersion, sys.SnapshotVersion())
+	}
+}
+
+// TestEvolveRollbackMatchesDurableState: after a mix of committed and failed
+// ops, the live in-memory views must equal a fresh recovery from the data
+// directory — i.e. memory tracks exactly the durable record stream, nothing
+// more. This is the invariant degraded-mode reads rely on.
+func TestEvolveRollbackMatchesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	st, inj := openFaultingStore(t, dir)
+	sys := buildDurableSys(t)
+	sys.SetEvolveSink(st)
+
+	// Fault armed: these fail and roll back.
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 1, Dst: 2, Weight: 9}}); err == nil {
+		t.Fatal("AddEdges succeeded with fault armed")
+	}
+	if err := sys.AddEdgesFor(7, []graph.Edge{{Src: 10, Dst: 11}}); err == nil {
+		t.Fatal("AddEdgesFor succeeded with fault armed")
+	}
+
+	// Clear the fault, re-arm the WAL, and do a successful op on top of the
+	// rolled-back state.
+	inj.Disarm()
+	if err := st.Probe(); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 99, Dst: 98, Weight: 5}}); err != nil {
+		t.Fatalf("AddEdges after recovery: %v", err)
+	}
+	if err := sys.AddEdgesFor(7, []graph.Edge{{Src: 20, Dst: 21}}); err != nil {
+		t.Fatalf("AddEdgesFor after recovery: %v", err)
+	}
+	wantGlobal := viewsOf(t, sys, -1)
+	wantJob7 := viewsOf(t, sys, 7)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the two acknowledged records are durable.
+	if len(rec.Evolves) != 2 {
+		t.Fatalf("recovered %d evolve records, want 2", len(rec.Evolves))
+	}
+	sys2 := buildDurableSys(t)
+	recoverInto(t, sys2, rec)
+	assertViewsEqual(t, wantGlobal, viewsOf(t, sys2, -1), "global view vs recovery")
+	assertViewsEqual(t, wantJob7, viewsOf(t, sys2, 7), "job 7 view vs recovery")
+}
+
+// TestCheckpointNeverCapturesPhantoms: a checkpoint taken after failed
+// evolve ops must reproduce the durable state, not the phantom one. (Before
+// the fix, captureStateLocked folded the rolled-forward memory into the
+// checkpoint, promoting unacknowledged edges to durable state.)
+func TestCheckpointNeverCapturesPhantoms(t *testing.T) {
+	dir := t.TempDir()
+	st, inj := openFaultingStore(t, dir)
+	sys := buildDurableSys(t)
+	sys.SetEvolveSink(st)
+
+	// One acknowledged op, then a failed one.
+	inj.Disarm()
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 5, Dst: 6, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faultfs.ParseSchedule("sync:fail:path=wal-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.SetSchedule(sched)
+	if _, err := sys.AddEdges([]graph.Edge{{Src: 7, Dst: 8, Weight: 2}}); err == nil {
+		t.Fatal("AddEdges succeeded with fault armed")
+	}
+	inj.Disarm()
+	if err := st.Probe(); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	want := viewsOf(t, sys, -1)
+	if err := sys.Checkpoint(st); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasCheckpoint {
+		t.Fatal("no checkpoint recovered")
+	}
+	sys2 := buildDurableSys(t)
+	recoverInto(t, sys2, rec)
+	got := viewsOf(t, sys2, -1)
+	assertViewsEqual(t, want, got, "checkpointed view")
+	// The phantom edge specifically must not be anywhere in the streams.
+	phantom := graph.Edge{Src: 7, Dst: 8, Weight: 2}
+	for pid, stream := range got {
+		for _, e := range stream {
+			if e == phantom {
+				t.Fatalf("phantom edge %+v present in checkpointed partition %d", phantom, pid)
+			}
+		}
+	}
+}
+
+// TestRollbackSkipsReleasedOverrides: if the mutating job finishes (its
+// overrides released) while its failed op's commit is in flight, the
+// rollback must not reinstall an override for the departed job — that copy
+// would never be released.
+func TestRollbackSkipsReleasedOverrides(t *testing.T) {
+	st, _ := openFaultingStore(t, t.TempDir())
+	defer st.Close()
+	sys := buildDurableSys(t)
+
+	// Open a real session so job 7 is live, then fail a private mutation.
+	sess, err := sys.OpenSession(engine.NewJob(7, algorithms.NewBFS(0), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetEvolveSink(st)
+	if err := sys.AddEdgesFor(7, []graph.Edge{{Src: 10, Dst: 11}}); !errors.Is(err, storage.ErrDurability) {
+		t.Fatalf("AddEdgesFor err = %v, want ErrDurability", err)
+	}
+	// The rollback already ran (the commit resolves synchronously on the
+	// caller's goroutine), and since the failed op created the override, the
+	// undo must delete it — not rewrite it — so the count is back to zero
+	// even while job 7 is still live.
+	if got := sys.OverrideChunks(); got != 0 {
+		t.Fatalf("override chunks after rollback = %d, want 0", got)
+	}
+	sess.Close()
+	if got := sys.OverrideChunks(); got != 0 {
+		t.Fatalf("override chunks after close = %d, want 0", got)
+	}
+	if err := sys.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -116,6 +116,36 @@ func (st *snapshotStore) resolve(jobID, born, partID, chunkIdx int) *chunkCopy {
 	return nil
 }
 
+// hasOverride reports whether jobID currently holds a private copy of
+// (partID, chunkIdx). Rollback uses it to tell "the failed op's override is
+// still installed" apart from "the job finished and its overrides were
+// released" — only the former may be undone.
+func (st *snapshotStore) hasOverride(jobID, partID, chunkIdx int) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	m, ok := st.overrides[jobID]
+	if !ok {
+		return false
+	}
+	_, ok = m[chunkKey(partID, chunkIdx)]
+	return ok
+}
+
+// dropOverride removes one private copy, used by rollback to undo a failed
+// mutation that created the override in the first place.
+func (st *snapshotStore) dropOverride(jobID, partID, chunkIdx int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, ok := st.overrides[jobID]
+	if !ok {
+		return
+	}
+	delete(m, chunkKey(partID, chunkIdx))
+	if len(m) == 0 {
+		delete(st.overrides, jobID)
+	}
+}
+
 // release drops a finished job's private overrides (the paper releases
 // copied chunks when the corresponding job finishes).
 func (st *snapshotStore) release(jobID int) {

@@ -224,6 +224,11 @@ type System struct {
 	// evolveMu before mu; the streaming hot path never touches evolveMu.
 	evolveSink storage.EvolveSink
 	evolveMu   sync.Mutex
+	// evolveTxns tracks logged evolve ops from append to commit resolution,
+	// in installation order; failed commits unwind from the tail (see
+	// rollback.go). evolveCond (on mu) wakes Checkpoint once the list drains.
+	evolveTxns []*evolveTxn
+	evolveCond *sync.Cond
 
 	sharedTE float64 // T(E), profiled once per graph (Section 3.4.2)
 
@@ -239,6 +244,12 @@ type jobState struct {
 	// joinMidRound lets the job attach to a round already in flight instead
 	// of waiting at the round barrier (SessionOptions.JoinMidRound).
 	joinMidRound bool
+	// deferBarrier makes beginIteration return without waiting for the round
+	// to form; sharing() performs the wait instead (SessionOptions.
+	// GroupDriver). A scatter/gather driver holding sessions on several
+	// systems must not block inside one system's round barrier while another
+	// system's round still needs it to stream.
+	deferBarrier bool
 	// detachWanted asks the job to withdraw from sharing; the job's next
 	// sharing() call (or its current suspended one) unhooks it from the
 	// controller and returns nil. detached records that the unhook ran.
@@ -348,6 +359,7 @@ func NewSystem(layout Layout, mem *storage.Memory, cache *memsim.Cache, cfg Conf
 	}
 	s.roundCond = sync.NewCond(&s.mu)
 	s.workCond = sync.NewCond(&s.mu)
+	s.evolveCond = sync.NewCond(&s.mu)
 	if cfg.Cores > 0 && !s.execEnabled() {
 		// The legacy driver throttles concurrent chunk streams with a
 		// semaphore; the executor bounds real concurrency with its worker
@@ -468,6 +480,14 @@ func (s *System) beginIteration(js *jobState) bool {
 	s.readyCount++
 	waitRound := s.round
 	s.maybeStartRoundLocked()
+	if js.deferBarrier {
+		// Group-driver sessions publish their active set and leave: the
+		// round forms once every job on this system is ready, and sharing()
+		// parks until then. Waiting here would deadlock the shard group's
+		// driver, which still owes streaming work to other shards before
+		// this shard's barrier can fill.
+		return true
+	}
 	for s.err == nil && s.round == waitRound {
 		if js.detachWanted {
 			// Still waiting at the barrier: withdraw before the round forms,
@@ -801,6 +821,23 @@ func (s *System) sharing(js *jobState) *curPartition {
 		if s.err != nil {
 			js.inRound = false
 			return nil
+		}
+		if js.ready {
+			// Deferred round barrier (deferBarrier): beginIteration marked
+			// the job ready without waiting, so park here until the round
+			// forms (startRoundLocked flips ready to inRound). Checked
+			// before the processed/active comparison — a ready job with an
+			// empty active set has not attended its (empty) round yet. A
+			// withdrawal here must unwind the ready count, or the barrier
+			// it was counted toward never fills.
+			if js.detachWanted {
+				js.ready = false
+				s.readyCount--
+				s.markDetachedLocked(js)
+				return nil
+			}
+			s.roundCond.Wait()
+			continue
 		}
 		if len(js.processed) >= len(js.active) {
 			// Iteration complete. Checked before detachWanted: a Detach

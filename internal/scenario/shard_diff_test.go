@@ -1,0 +1,89 @@
+package scenario
+
+// The sharded half of the differential matrix: the checked-in corpus and a
+// seeded generator stream replayed unsharded and at shards={1,2,4}, with
+// equal work counters and bit-identical outputs required throughout
+// (ShardDiffCheck). This is the correctness harness for the scatter/gather
+// scale-out — any divergence means the shard group broke the determinism
+// contract in the shard package comment.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// shardCounts is the matrix every differential script replays across.
+var shardCounts = []int{1, 2, 4}
+
+// shardScripts returns how many generated scripts the sharded differential
+// replays: GRAPHM_SHARD_SCRIPTS when set (CI pins a small smoke number;
+// nightly cranks it up), else 12, scaled down under -short.
+func shardScripts(t *testing.T) int {
+	if v := os.Getenv("GRAPHM_SHARD_SCRIPTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad GRAPHM_SHARD_SCRIPTS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 4
+	}
+	return 12
+}
+
+// TestShardCorpusDifferential replays every checked-in corpus script across
+// the shard matrix. The corpus pins one script per event kind (plus
+// minimized fuzz counterexamples), so this is the sharded regression
+// surface for attach, detach, global update, and private mutation.
+func TestShardCorpusDifferential(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.scenario"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("corpus is empty — the seed scripts should be checked in")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			gs, err := DecodeScript(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ShardDiffCheck(gs, DiffOptions{}, shardCounts); err != nil {
+				t.Fatalf("sharded corpus regression: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardGeneratedDifferential draws fresh scripts from the fuzzer's
+// generator (fixed seeds, so failures reproduce exactly) and requires each
+// to pass the shard matrix. Seeds are offset from the executor fuzzer's so
+// the two streams explore different scripts.
+func TestShardGeneratedDifferential(t *testing.T) {
+	o := DiffOptions{}
+	gopts := fuzzGenOptions(t, o)
+	n := shardScripts(t)
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(10_000 + seed)))
+		opts := gopts
+		opts.SingleJob = seed%3 == 0
+		gs, err := GenerateScript(rng, opts)
+		if err != nil {
+			t.Fatalf("seed %d: generator: %v", seed, err)
+		}
+		if err := ShardDiffCheck(gs, o, shardCounts); err != nil {
+			min := Minimize(gs, func(cand GenScript) bool { return ShardDiffCheck(cand, o, shardCounts) != nil })
+			t.Fatalf("seed %d diverged across shard counts: %v\nminimized:\n%s", 10_000+seed, err, min.Encode())
+		}
+	}
+}

@@ -104,7 +104,7 @@ func (s *Server) ProbeRecovery() bool {
 		// by the checkpoint path must prove that path writes again before
 		// re-arming, or the daemon would flap healthy/degraded on every
 		// housekeeping tick while only checkpointing is broken.
-		if err := s.sys.Checkpoint(st); err != nil {
+		if err := s.dsys.Checkpoint(st); err != nil {
 			s.maybeDegrade("checkpoint", err)
 			return false
 		}

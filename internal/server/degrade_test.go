@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"graphm/internal/faultfs"
+	"graphm/internal/graph"
 	"graphm/internal/service"
 	"graphm/internal/storage"
 )
@@ -221,6 +222,101 @@ func TestCheckpointDegradeRequiresCheckpointRecovery(t *testing.T) {
 	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 3, Dst: 4, Weight: 1}}}); code != http.StatusOK {
 		t.Fatalf("evolve after recovery: status %d", code)
 	}
+}
+
+// TestRefusedEvolveNeverObservable is the regression test for the
+// phantom-commit window: an evolve mutation refused with 503 (WAL commit
+// failure) used to stay installed in the in-memory snapshot, visible to
+// degraded-mode reads and to checkpoints until the next restart. The 503'd
+// edges must now be observable nowhere: not in the live views while
+// degraded, not after probe recovery, not in a checkpoint, and not after a
+// restart's recovery.
+func TestRefusedEvolveNeverObservable(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS{}, nil, nil)
+	st, _, err := storage.Open(dir, storage.StoreOptions{
+		CheckpointEveryRecords: -1,
+		FS:                     inj,
+		Retry:                  storage.RetryPolicy{Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const envName = "phantom-regression"
+	s := New(newTestSystem(t, envName), service.Config{TicketLog: st, Seed: 3}, Config{})
+	s.AttachStore(st)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// One acknowledged mutation, then snapshot the observable state.
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 3, Dst: 4, Weight: 1}}}); code != http.StatusOK {
+		t.Fatalf("healthy evolve: status %d", code)
+	}
+	want := globalViews(t, s)
+
+	// Persistent WAL fault: an add and a remove are both refused with 503.
+	sched, _ := faultfs.ParseSchedule("sync:fail:path=wal-")
+	inj.SetSchedule(sched)
+	if _, code := evolveHTTP(t, ts, http.MethodPost, evolveAddRequest{Edges: []edgeJSON{{Src: 5, Dst: 6, Weight: 2}}}); code != http.StatusServiceUnavailable {
+		t.Fatalf("add under fault: status %d, want 503", code)
+	}
+	src := uint32(3)
+	if _, code := evolveHTTP(t, ts, http.MethodDelete, evolveRemoveRequest{Src: &src}); code != http.StatusServiceUnavailable {
+		t.Fatalf("remove under fault: status %d, want 503", code)
+	}
+	if h := getHealthz(t, ts); h.DegradedCause != "wal" {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	assertNoPhantom := func(label string, views map[int][]graph.Edge) {
+		t.Helper()
+		phantom := graph.Edge{Src: 5, Dst: 6, Weight: 2}
+		for pid, stream := range views {
+			wantStream := want[pid]
+			if len(stream) != len(wantStream) {
+				t.Fatalf("%s: partition %d has %d edges, want %d", label, pid, len(stream), len(wantStream))
+			}
+			for i, e := range stream {
+				if e == phantom {
+					t.Fatalf("%s: refused edge %+v observable in partition %d", label, phantom, pid)
+				}
+				if e != wantStream[i] {
+					t.Fatalf("%s: partition %d edge %d = %+v, want %+v", label, pid, i, e, wantStream[i])
+				}
+			}
+		}
+	}
+	// Degraded-mode reads see exactly the acknowledged state: the refused add
+	// is absent and the refused removal's target is still present.
+	assertNoPhantom("degraded reads", globalViews(t, s))
+
+	// Recover the durable path, checkpoint, and "restart": the checkpoint and
+	// the recovered daemon agree with the acknowledged state too.
+	inj.Disarm()
+	if !s.ProbeRecovery() {
+		t.Fatal("ProbeRecovery failed after the fault cleared")
+	}
+	assertNoPhantom("after probe recovery", globalViews(t, s))
+	if ok, err := s.MaybeCheckpoint(true); !ok || err != nil {
+		t.Fatalf("checkpoint: ok=%v err=%v", ok, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := storage.Open(dir, storage.StoreOptions{NoSync: true, CheckpointEveryRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if !rec.HasCheckpoint {
+		t.Fatal("no checkpoint recovered")
+	}
+	s2 := New(newTestSystem(t, envName), service.Config{TicketLog: st2, Seed: 3}, Config{})
+	if _, err := s2.Restore(st2, rec); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPhantom("after restart recovery", globalViews(t, s2))
 }
 
 // TestDrainingRefusalsCarryRetryAfter: the draining 503s hint Retry-After

@@ -35,20 +35,23 @@ type RecoveredState struct {
 // serving traffic. The store stays attached for /metrics WAL counters and
 // checkpoint triggering.
 func (s *Server) Restore(st *storage.Store, rec *storage.Recovery) (RecoveredState, error) {
+	if s.dsys == nil {
+		return RecoveredState{}, fmt.Errorf("restore: backend has no durable surface (sharded mode is memory-only)")
+	}
 	if rec.HasCheckpoint {
-		if err := s.sys.RestorePartitions(rec.Partitions); err != nil {
+		if err := s.dsys.RestorePartitions(rec.Partitions); err != nil {
 			return RecoveredState{}, fmt.Errorf("restore checkpoint: %w", err)
 		}
-		if err := s.sys.RestoreOverrides(rec.Overrides); err != nil {
+		if err := s.dsys.RestoreOverrides(rec.Overrides); err != nil {
 			return RecoveredState{}, fmt.Errorf("restore overrides: %w", err)
 		}
 	}
 	for i, ev := range rec.Evolves {
-		if err := s.sys.ApplyEvolve(ev); err != nil {
+		if err := s.dsys.ApplyEvolve(ev); err != nil {
 			return RecoveredState{}, fmt.Errorf("replay WAL record %d (%v): %w", i, ev.Op, err)
 		}
 	}
-	s.sys.SetEvolveSink(st)
+	s.dsys.SetEvolveSink(st)
 	readmitted, err := s.svc.Restore(rec)
 	if err != nil {
 		return RecoveredState{}, err
@@ -67,9 +70,14 @@ func (s *Server) Restore(st *storage.Store, rec *storage.Recovery) (RecoveredSta
 }
 
 // AttachStore wires a store without recovery (fresh data directory): evolve
-// mutations are logged and /metrics exports the WAL counters.
+// mutations are logged and /metrics exports the WAL counters. Panics on a
+// non-durable (sharded) backend — the CLI refuses -data-dir with -shards
+// before getting here.
 func (s *Server) AttachStore(st *storage.Store) {
-	s.sys.SetEvolveSink(st)
+	if s.dsys == nil {
+		panic("server: AttachStore on a backend without a durable surface")
+	}
+	s.dsys.SetEvolveSink(st)
 	s.mu.Lock()
 	s.store = st
 	s.mu.Unlock()
@@ -100,7 +108,7 @@ func (s *Server) MaybeCheckpoint(force bool) (bool, error) {
 	if !force && !st.CheckpointDue() {
 		return false, nil
 	}
-	if err := s.sys.Checkpoint(st); err != nil {
+	if err := s.dsys.Checkpoint(st); err != nil {
 		// A checkpoint durability failure degrades the daemon (nothing is
 		// lost — the WAL still covers the state — but the durable path needs
 		// attention before the log grows without bound).
@@ -185,13 +193,12 @@ func (s *Server) handleEvolveAdd(w http.ResponseWriter, r *http.Request) {
 // 503 + Retry-After — the mutation must not be acknowledged — while
 // anything else is a caller mistake (400).
 //
-// Known window: the in-memory snapshot installs the mutation before the WAL
-// commit is awaited, so a commit that fails leaves the unacknowledged edges
-// visible to degraded-mode reads until the next restart discards them
-// (recovery rebuilds only from durable state). The 503 is still honest — the
-// mutation is NOT durable and a client must re-offer it — but readers inside
-// the degraded window may observe it early. See docs/OPERATIONS.md,
-// "Degraded read-only mode".
+// The 503 is complete: by the time core.System returns the durability error
+// it has already rolled the installation back (see internal/core/rollback.go),
+// so the refused edges are not observable anywhere — not by degraded-mode
+// reads, not in checkpoints, not after restart. (Earlier versions had a
+// phantom-commit window here: the mutation installed in memory before the
+// commit was awaited and a failed commit left it visible until restart.)
 func (s *Server) writeEvolveError(w http.ResponseWriter, err error) {
 	if s.maybeDegrade("wal", err) {
 		s.writeUnavailable(w, "degraded (wal): %v", err)

@@ -39,10 +39,10 @@ func evolveHTTP(t *testing.T, ts *httptest.Server, method string, body any) (evo
 func globalViews(t *testing.T, s *Server) map[int][]graph.Edge {
 	t.Helper()
 	out := make(map[int][]graph.Edge)
-	for pid := 0; pid < s.sys.NumPartitions(); pid++ {
+	for pid := 0; pid < s.dsys.NumPartitions(); pid++ {
 		var stream []graph.Edge
-		for k := 0; k < s.sys.ChunkCount(pid); k++ {
-			edges, err := s.sys.ChunkView(-1, pid, k)
+		for k := 0; k < s.dsys.ChunkCount(pid); k++ {
+			edges, err := s.dsys.ChunkView(-1, pid, k)
 			if err != nil {
 				t.Fatalf("chunk view %d/%d: %v", pid, k, err)
 			}

@@ -44,7 +44,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphm/internal/cluster"
 	"graphm/internal/core"
+	"graphm/internal/graph"
 	"graphm/internal/service"
 	"graphm/internal/slo"
 	"graphm/internal/storage"
@@ -93,13 +95,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Backend is the streaming substrate the daemon fronts: the admission
+// surface (service.Backend) plus the graph-mutation API the evolve
+// endpoints expose. Satisfied by *core.System and by *shard.Group.
+type Backend interface {
+	service.Backend
+	AddEdges(edges []graph.Edge) (int, error)
+	AddEdgesFor(jobID int, edges []graph.Edge) error
+	RemoveEdges(pred func(graph.Edge) bool) (version, removed int, err error)
+	RemoveEdgesFor(jobID int, pred func(graph.Edge) bool) (removed int, err error)
+	SnapshotVersion() int
+}
+
+// ShardedBackend is the optional sharding surface a Backend may offer;
+// /metrics exports per-shard counters and the cluster network totals when
+// the backend provides it (shard.Group does).
+type ShardedBackend interface {
+	Shards() int
+	System(i int) *core.System
+	Network() *cluster.Network
+}
+
 // Server is the HTTP front end over one admission service. It implements
 // http.Handler; all methods are safe for concurrent use.
 type Server struct {
 	svc *service.Service
-	sys *core.System
-	cfg Config
-	mux *http.ServeMux
+	sys Backend
+	// dsys is the durable-capable concrete system — non-nil only when the
+	// backend is a single core.System. The durable paths (Restore,
+	// AttachStore, checkpoints) require it; sharded backends run in-memory
+	// only.
+	dsys *core.System
+	cfg  Config
+	mux  *http.ServeMux
 
 	limiter *tenantLimiter
 
@@ -129,6 +157,14 @@ type Server struct {
 // hooks already present) and wires the HTTP routes. The system must be
 // dedicated to this server.
 func New(sys *core.System, svcCfg service.Config, cfg Config) *Server {
+	return NewWithBackend(sys, svcCfg, cfg)
+}
+
+// NewWithBackend is New over any Backend. A *core.System backend keeps the
+// full durable surface; any other backend (a shard.Group) serves the same
+// HTTP API in memory-only mode — Restore/AttachStore must not be called and
+// checkpoints are never due.
+func NewWithBackend(sys Backend, svcCfg service.Config, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		sys:     sys,
@@ -159,7 +195,10 @@ func New(sys *core.System, svcCfg service.Config, cfg Config) *Server {
 	if svcCfg.Clock == nil {
 		svcCfg.Clock = cfg.Clock
 	}
-	s.svc = service.New(sys, svcCfg)
+	if ds, ok := sys.(*core.System); ok {
+		s.dsys = ds
+	}
+	s.svc = service.NewWithBackend(sys, svcCfg)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)

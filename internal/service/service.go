@@ -24,7 +24,21 @@ import (
 	"sync"
 
 	"graphm/internal/core"
+	"graphm/internal/engine"
 )
+
+// Backend is the streaming substrate the service admits jobs to: one
+// core.System, or the shard package's partitioned group of them. Everything
+// the admission path needs is session opening plus the observability pair.
+type Backend interface {
+	// OpenJobSession registers a job and returns its streaming driver.
+	OpenJobSession(j *engine.Job, opts core.SessionOptions) (core.JobDriver, error)
+	// StatsSnapshot returns the controller counters (aggregated across
+	// shards for a group).
+	StatsSnapshot() core.Stats
+	// Err returns the backend's first failure, if any.
+	Err() error
+}
 
 // Submission errors returned by Submit.
 var (
@@ -121,7 +135,7 @@ type Snapshot struct {
 // Service is a long-running job-admission front end over one core.System.
 // All exported methods are safe for concurrent use.
 type Service struct {
-	sys *core.System
+	sys Backend
 	cfg Config
 
 	mu   sync.Mutex
@@ -148,6 +162,13 @@ type Service struct {
 // on the same System is supported by the controller but makes the service's
 // stats deltas meaningless.
 func New(sys *core.System, cfg Config) *Service {
+	return NewWithBackend(sys, cfg)
+}
+
+// NewWithBackend is New over any Backend — the daemon's sharded mode passes
+// a shard.Group here and every admission, ticket and stats path works
+// unchanged.
+func NewWithBackend(sys Backend, cfg Config) *Service {
 	s := &Service{
 		sys:     sys,
 		cfg:     cfg.withDefaults(),
@@ -228,7 +249,7 @@ func (s *Service) admitLocked() {
 		if t == nil {
 			return
 		}
-		sess, err := s.sys.OpenSessionWith(t.job, core.SessionOptions{JoinMidRound: true})
+		sess, err := s.sys.OpenJobSession(t.job, core.SessionOptions{JoinMidRound: true})
 		if err != nil {
 			// Admission failure (e.g. duplicate job ID) is terminal for the
 			// ticket, not the service.
@@ -507,7 +528,7 @@ func (s *Service) Drain() error {
 func (s *Service) Shutdown() {
 	s.mu.Lock()
 	s.closed = true
-	var detach []*core.Session
+	var detach []core.JobDriver
 	var terminal []*Ticket
 	for _, t := range s.tickets {
 		t.mu.Lock()

@@ -1,0 +1,259 @@
+package service_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/memsim"
+	"graphm/internal/service"
+	"graphm/internal/shard"
+	"graphm/internal/storage"
+)
+
+// memTicketLog captures the ticket lifecycle in storage.Store's on-disk
+// record format, so byte-comparing two captured logs compares exactly what
+// a durable deployment would have persisted.
+type memTicketLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *memTicketLog) LogSubmit(id int, tenant, algo string, seed int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(&l.buf, "submit %d %q %s %d\n", id, tenant, algo, seed)
+	return nil
+}
+
+func (l *memTicketLog) LogTerminal(id int, status string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(&l.buf, "end %d %s\n", id, status)
+}
+
+func (l *memTicketLog) Bytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.buf.Bytes()...)
+}
+
+// svcDiffRun is one deterministic service workload's observable footprint.
+type svcDiffRun struct {
+	log    []byte
+	status map[int]service.Status
+	work   map[int]engine.WorkCounters
+}
+
+// runServiceWorkload drives a fixed submission sequence against a backend
+// with the given shard count (0 = plain core.System) and returns everything
+// the cross-count comparison asserts on. Determinism comes from three
+// choices: MaxInFlight=1 serializes admissions, the finish gate parks the
+// first driver until every submission (and the one cancel) has been logged,
+// and Cores=1 keeps convergence-driven iteration counts schedule-free.
+func runServiceWorkload(t *testing.T, shards int) svcDiffRun {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("svc-shard-diff", 300, 2200, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 3, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(32 << 10)
+	cfg.Cores = 1
+	cfg.Scheduler = false
+
+	var backend service.Backend
+	var wait func() error
+	if shards == 0 {
+		cache, err := memsim.NewCache(memsim.DefaultConfig(32 << 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(grid.AsLayout(), storage.NewMemory(disk, 64<<20), cache, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend = sys
+		wait = sys.Wait
+	} else {
+		grp, err := shard.New(grid.AsLayout(), shards, 64<<20, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend = grp
+		wait = grp.Wait
+	}
+
+	log := &memTicketLog{}
+	gate := make(chan struct{})
+	svc := service.NewWithBackend(backend, service.Config{
+		MaxInFlight: 1,
+		Seed:        99,
+		TicketLog:   log,
+		FinishGate:  func(*service.Ticket) { <-gate },
+	})
+
+	reqs := []service.Request{
+		{Tenant: "alpha", Algo: "pagerank"},
+		{Tenant: "beta", Algo: "wcc"},
+		{Tenant: "alpha", Algo: "bfs"},
+		{Tenant: "beta", Algo: "sssp"},
+		{Tenant: "alpha", Algo: "wcc"},
+		{Tenant: "beta", Algo: "pagerank"},
+		{Tenant: "alpha", Algo: "labelprop"},
+		{Tenant: "beta", Algo: "kcore"},
+	}
+	var tickets []*service.Ticket
+	for _, req := range reqs {
+		tk, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	// Ticket 7 is still queued (the sole in-flight driver is parked on the
+	// gate), so this cancel lands at a fixed position in every run's log.
+	if err := svc.Cancel(tickets[6].ID); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := svcDiffRun{
+		log:    log.Bytes(),
+		status: make(map[int]service.Status),
+		work:   make(map[int]engine.WorkCounters),
+	}
+	for _, tk := range tickets {
+		run.status[tk.ID] = tk.Wait()
+		run.work[tk.ID] = tk.Job().Met.Work()
+	}
+	return run
+}
+
+// TestServiceShardTicketLogDifferential is the service-level half of the
+// sharding correctness matrix: the same deterministic submission script,
+// admitted through the real service (queueing, round-robin fairness, a
+// mid-stream cancel, ticket logging), must leave a byte-identical ticket
+// log, identical terminal statuses, and identical per-job work counters
+// whether the backend is one core.System or a group of 1, 2 or 4 shards.
+func TestServiceShardTicketLogDifferential(t *testing.T) {
+	ref := runServiceWorkload(t, 0)
+	if ref.status[7] != service.StatusCanceled {
+		t.Fatalf("reference run: ticket 7 finished %v, want canceled", ref.status[7])
+	}
+	done := 0
+	for id, st := range ref.status {
+		if st == service.StatusDone {
+			done++
+		} else if id != 7 {
+			t.Fatalf("reference run: ticket %d finished %v", id, st)
+		}
+	}
+	if done != 7 {
+		t.Fatalf("reference run: %d tickets done, want 7", done)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		run := runServiceWorkload(t, shards)
+		if !bytes.Equal(run.log, ref.log) {
+			t.Fatalf("shards=%d: ticket log diverged from unsharded\nunsharded:\n%s\nshards=%d:\n%s",
+				shards, ref.log, shards, run.log)
+		}
+		for id, want := range ref.status {
+			if got := run.status[id]; got != want {
+				t.Fatalf("shards=%d: ticket %d finished %v, unsharded %v", shards, id, got, want)
+			}
+		}
+		for id, want := range ref.work {
+			if got := run.work[id]; got != want {
+				t.Fatalf("shards=%d: ticket %d work %+v, unsharded %+v", shards, id, got, want)
+			}
+		}
+	}
+}
+
+// TestServiceShardStress floods a sharded backend with concurrent
+// submissions, mid-stream cancels and overlapping admissions — the
+// scatter/gather path's race coverage (run with -race in CI). No bit
+// assertions: overlapping rounds make work counters schedule-dependent;
+// the test asserts lifecycle integrity only.
+func TestServiceShardStress(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT("svc-shard-stress", 400, 3000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	grid, err := gridgraph.Build(g, 3, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(32 << 10)
+	cfg.Cores = 2
+	grp, err := shard.New(grid.AsLayout(), 3, 64<<20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.NewWithBackend(grp, service.Config{MaxInFlight: 4, Seed: 5})
+
+	const (
+		submitters = 4
+		perWorker  = 6
+	)
+	algos := []string{"pagerank", "wcc", "bfs", "sssp"}
+	var mu sync.Mutex
+	var tickets []*service.Ticket
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tk, err := svc.Submit(service.Request{
+					Tenant: fmt.Sprintf("t%d", w%2),
+					Algo:   algos[(w+i)%len(algos)],
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				tickets = append(tickets, tk)
+				mu.Unlock()
+				// Detach every fourth job mid-stream: the group must unwind
+				// it from all three shards at their next barriers.
+				if i%4 == 3 {
+					if err := svc.Cancel(tk.ID); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := grp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		st := tk.Wait()
+		if st != service.StatusDone && st != service.StatusCanceled {
+			t.Fatalf("ticket %d finished %v", tk.ID, st)
+		}
+	}
+}

@@ -115,7 +115,7 @@ type Ticket struct {
 	status       Status
 	err          error
 	cancelWanted bool
-	sess         *core.Session
+	sess         core.JobDriver
 
 	queuedAt   time.Time
 	admittedAt time.Time

@@ -1,0 +1,284 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"graphm/internal/algorithms"
+	"graphm/internal/core"
+	"graphm/internal/engine"
+	"graphm/internal/graph"
+	"graphm/internal/gridgraph"
+	"graphm/internal/memsim"
+	"graphm/internal/storage"
+)
+
+const (
+	testLLC = 32 << 10
+	testMem = 64 << 20
+)
+
+func buildLayout(t *testing.T, name string) core.Layout {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT(name, 300, 2000, 7))
+	if err != nil {
+		t.Fatalf("rmat: %v", err)
+	}
+	grid, err := gridgraph.Build(g, 3, storage.NewDisk())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return grid.AsLayout()
+}
+
+func testConfig() core.Config {
+	cc := core.DefaultConfig(testLLC)
+	cc.Cores = 2
+	return cc
+}
+
+// driveGroup streams jobs through a group the way the admission service
+// does: one goroutine per job over the core.JobDriver loop.
+func driveGroup(t *testing.T, g *Group, jobs []*engine.Job) {
+	t.Helper()
+	drivers := make([]core.JobDriver, len(jobs))
+	for i, j := range jobs {
+		d, err := g.OpenJobSession(j, core.SessionOptions{})
+		if err != nil {
+			t.Fatalf("open job %d: %v", j.ID, err)
+		}
+		drivers[i] = d
+	}
+	done := make(chan struct{}, len(drivers))
+	for _, d := range drivers {
+		go func(d core.JobDriver) {
+			defer func() { done <- struct{}{} }()
+			defer d.Close()
+			for d.BeginIteration() {
+				for {
+					sp := d.Sharing()
+					if sp == nil {
+						break
+					}
+					sp.ProcessAll()
+					sp.Barrier()
+				}
+				d.EndIteration()
+			}
+		}(d)
+	}
+	for range drivers {
+		<-done
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("group wait: %v", err)
+	}
+}
+
+// runSharded runs the canonical two-job batch (PageRank + WCC) at the given
+// shard count and returns the finished jobs plus their programs.
+func runSharded(t *testing.T, name string, shards int) (map[int]*engine.Job, map[int]engine.Program) {
+	t.Helper()
+	layout := buildLayout(t, name)
+	g, err := New(layout, shards, testMem, testConfig())
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	progs := map[int]engine.Program{
+		1: algorithms.NewPageRank(0.85, 5),
+		2: algorithms.NewWCC(0),
+	}
+	var jobs []*engine.Job
+	for id, p := range progs {
+		jobs = append(jobs, engine.NewJob(id, p, int64(id)))
+	}
+	driveGroup(t, g, jobs)
+	byID := make(map[int]*engine.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	if n := g.OverrideChunks(); n != 0 {
+		t.Fatalf("shards=%d: %d override chunks leaked", shards, n)
+	}
+	return byID, progs
+}
+
+// TestShardedMatchesUnsharded is the core differential: the same batch at
+// shards=1, 2 and 4 must produce identical schedule-independent work and
+// bit-identical outputs, and shards=1 must additionally match a plain
+// (scheduler-off) core.System run.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	// Plain system baseline, scheduler off like the group forces.
+	layout := buildLayout(t, "shard-diff")
+	cache, err := memsim.NewCache(memsim.DefaultConfig(testLLC))
+	if err != nil {
+		t.Fatalf("cache: %v", err)
+	}
+	cc := testConfig()
+	cc.Scheduler = false
+	disk := storage.NewDisk()
+	for _, p := range layout.Partitions() {
+		disk.Write(p.DiskName, graph.EncodeEdges(p.Edges))
+	}
+	sys, err := core.NewSystem(layout, storage.NewMemory(disk, testMem), cache, cc)
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	basePR := algorithms.NewPageRank(0.85, 5)
+	baseWCC := algorithms.NewWCC(0)
+	baseJobs := []*engine.Job{engine.NewJob(1, basePR, 1), engine.NewJob(2, baseWCC, 2)}
+	if err := sys.Run(baseJobs); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	baseWork := map[int]engine.WorkCounters{}
+	for _, j := range baseJobs {
+		baseWork[j.ID] = j.Met.Work()
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			jobs, progs := runSharded(t, "shard-diff", shards)
+			for id, j := range jobs {
+				if got, want := j.Met.Work(), baseWork[id]; got != want {
+					t.Errorf("job %d work differs from unsharded: %+v vs %+v", id, got, want)
+				}
+				switch p := progs[id].(type) {
+				case *algorithms.PageRank:
+					assertFloatsEqual(t, id, p.Ranks(), basePR.Ranks())
+				case *algorithms.WCC:
+					assertLabelsEqual(t, id, p.Labels(), baseWCC.Labels())
+				}
+			}
+		})
+	}
+}
+
+func assertFloatsEqual(t *testing.T, id int, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("job %d: rank lengths %d vs %d", id, len(got), len(want))
+	}
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("job %d: rank[%d] = %v, want %v (not bit-identical)", id, v, got[v], want[v])
+		}
+	}
+}
+
+func assertLabelsEqual(t *testing.T, id int, got, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("job %d: label lengths %d vs %d", id, len(got), len(want))
+	}
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("job %d: label[%d] = %v, want %v", id, v, got[v], want[v])
+		}
+	}
+}
+
+// TestGroupEvolveRouting checks that global and job-private mutations land
+// identically at any shard count: after the same add/remove sequence, the
+// concatenated global chunk views must be equal edge-for-edge.
+func TestGroupEvolveRouting(t *testing.T) {
+	views := func(shards int) []graph.Edge {
+		g, err := New(buildLayout(t, "shard-evolve"), shards, testMem, testConfig())
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		add := []graph.Edge{{Src: 3, Dst: 9, Weight: 1}, {Src: 250, Dst: 7, Weight: 2}, {Src: 120, Dst: 4, Weight: 3}}
+		if _, err := g.AddEdges(add); err != nil {
+			t.Fatalf("shards=%d add: %v", shards, err)
+		}
+		if _, _, err := g.RemoveEdges(func(e graph.Edge) bool { return e.Dst == 9 }); err != nil {
+			t.Fatalf("shards=%d remove: %v", shards, err)
+		}
+		var all []graph.Edge
+		for si := 0; si < g.Shards(); si++ {
+			sys := g.System(si)
+			for _, p := range g.PartitionsOf(si) {
+				for k := 0; k < sys.ChunkCount(p.ID); k++ {
+					seg, err := sys.ChunkView(-1, p.ID, k)
+					if err != nil {
+						t.Fatalf("shards=%d view p%d k%d: %v", shards, p.ID, k, err)
+					}
+					all = append(all, seg...)
+				}
+			}
+		}
+		return all
+	}
+	want := views(1)
+	for _, shards := range []int{2, 4} {
+		got := views(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d edges vs %d at shards=1", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: edge %d = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGroupDetach verifies a group-level cancel withdraws cleanly: the
+// detached job reports Detached, leaves no overrides, and the surviving
+// job's outputs match an undisturbed run.
+func TestGroupDetach(t *testing.T) {
+	g, err := New(buildLayout(t, "shard-detach"), 2, testMem, testConfig())
+	if err != nil {
+		t.Fatalf("group: %v", err)
+	}
+	longPR := algorithms.NewPageRank(0.85, 50)
+	j := engine.NewJob(1, longPR, 1)
+	d, err := g.OpenJobSession(j, core.SessionOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	iters := 0
+	for d.BeginIteration() {
+		for {
+			sp := d.Sharing()
+			if sp == nil {
+				break
+			}
+			sp.ProcessAll()
+			sp.Barrier()
+		}
+		d.EndIteration()
+		iters++
+		if iters == 2 {
+			d.Detach()
+		}
+	}
+	d.Close()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if !d.Detached() {
+		t.Fatalf("detach after iteration 2 was not honored")
+	}
+	if j.Met.Iterations >= 50 {
+		t.Fatalf("detached job ran all %d iterations", j.Met.Iterations)
+	}
+	if n := g.OverrideChunks(); n != 0 {
+		t.Fatalf("%d override chunks leaked after detach", n)
+	}
+}
+
+// TestNewRejectsBadShapes pins the constructor's validation.
+func TestNewRejectsBadShapes(t *testing.T) {
+	layout := buildLayout(t, "shard-shape")
+	if _, err := New(layout, 0, testMem, testConfig()); err == nil {
+		t.Fatalf("shards=0 accepted")
+	}
+	if _, err := New(layout, len(layout.Partitions())+1, testMem, testConfig()); err == nil {
+		t.Fatalf("more shards than partitions accepted")
+	}
+	cc := testConfig()
+	cc.LLCBytes = 0
+	if _, err := New(layout, 2, testMem, cc); err == nil {
+		t.Fatalf("zero LLCBytes accepted")
+	}
+}
